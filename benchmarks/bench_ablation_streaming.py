@@ -1,0 +1,178 @@
+"""Ablations over the streaming design choices (DESIGN.md §6).
+
+Four knobs the architecture fixes, each swept to show why the chosen
+value is right:
+
+* **device read-ahead factor** — readers reserve ``readahead x`` the
+  value's data rate; 1x leaves no headroom and latency accumulates;
+* **stream buffer capacity** — bounded buffers create backpressure;
+  tiny buffers stall producers without changing output;
+* **MPEG GOP length** — compression ratio vs. random-access decode cost;
+* **sink prebuffer (presentation delay)** — what absorbs constant
+  pipeline latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities import ActivityGraph
+from repro.activities.library import VideoReader, VideoWindow
+from repro.avdb import AVDatabaseSystem
+from repro.codecs import MPEGCodec
+from repro.sim import Simulator
+from repro.storage import MagneticDisk
+from repro.synth import moving_scene
+
+FRAMES = 30
+
+
+def playback_latency(readahead, presentation_delay=0.0):
+    system = AVDatabaseSystem()
+    system.readahead = readahead
+    system.add_storage(MagneticDisk(system.simulator, "disk0"))
+    video = moving_scene(FRAMES, 64, 48)
+    system.store_value(video, "disk0")
+    session = system.open_session()
+    source = session.new_db_source(video)
+    window = session.new_video_window(name="w")
+    window.presentation_delay = presentation_delay
+    stream = session.connect(source, window)
+    stream.start()
+    session.run()
+    return window.log
+
+
+def test_ablation_readahead(benchmark, exhibit):
+    lines = [
+        "Ablation A — device read-ahead factor vs presentation latency",
+        "",
+        f"{'readahead':<12}{'mean latency (ms)':>19}{'max latency (ms)':>18}"
+        f"{'jitter (ms)':>13}",
+    ]
+    stats = {}
+    for factor in (1.05, 1.5, 2.0, 4.0):
+        log = playback_latency(factor)
+        stats[factor] = log
+        lines.append(
+            f"{factor:<12}{log.mean_latency() * 1000:>19.2f}"
+            f"{log.max_latency() * 1000:>18.2f}{log.jitter() * 1000:>13.2f}"
+        )
+    lines += [
+        "",
+        "shape: with read-ahead the pipeline latency is a small constant;",
+        "at ~1x the device can never get ahead and latency stays at the",
+        "per-element maximum.  2x (the default) is already in the flat",
+        "regime — more buys little.",
+    ]
+    exhibit("ablation_readahead", "\n".join(lines))
+    assert stats[2.0].mean_latency() < stats[1.05].mean_latency()
+    assert stats[2.0].jitter() < 0.01  # constant latency: sustainable
+
+    benchmark(lambda: playback_latency(2.0).mean_latency())
+
+
+def buffer_pressure(capacity):
+    """Fast free-run source into a paced window through a tiny buffer."""
+    sim = Simulator()
+    graph = ActivityGraph(sim)
+    video = moving_scene(FRAMES, 64, 48)
+    reader = graph.add(VideoReader(sim))
+    reader.bind(video)
+    reader.paced = False  # producer runs as fast as the buffer lets it
+    window = graph.add(VideoWindow(sim, keep_payloads=False))
+    connection = graph.connect(reader.port("video_out"),
+                               window.port("video_in"), capacity=capacity)
+    graph.run_to_completion()
+    return connection.buffer, window
+
+
+def test_ablation_buffer_capacity(benchmark, exhibit):
+    lines = [
+        "Ablation B — buffer capacity vs producer stalls (backpressure)",
+        "",
+        f"{'capacity':<10}{'producer stalls':>17}{'high watermark':>16}"
+        f"{'frames out':>12}",
+    ]
+    results = {}
+    for capacity in (1, 2, 8, 64):
+        buffer, window = buffer_pressure(capacity)
+        results[capacity] = buffer
+        lines.append(
+            f"{capacity:<10}{buffer.producer_stalls:>17}"
+            f"{buffer.high_watermark:>16}{window.elements_consumed:>12}"
+        )
+    lines += [
+        "",
+        "shape: output is identical at every capacity (bounded buffers",
+        "never drop); small buffers just stall the producer more — the",
+        "§3.3 'system resources (buffers...) are limited' behaviour.",
+    ]
+    exhibit("ablation_buffer", "\n".join(lines))
+    assert results[1].producer_stalls > results[64].producer_stalls
+    assert all(buffer.high_watermark <= cap
+               for cap, buffer in results.items())
+
+    benchmark(lambda: buffer_pressure(8)[0].total_put)
+
+
+def test_ablation_mpeg_gop(benchmark, exhibit):
+    """GOP length: compression vs random-access cost."""
+    import time
+    video = moving_scene(60, 64, 48)
+    lines = [
+        "Ablation C — MPEG GOP length: compression vs random access",
+        "",
+        f"{'GOP':<6}{'compression ratio':>19}{'random-access decodes/s':>26}",
+    ]
+    data = {}
+    for gop in (1, 5, 15, 30):
+        codec = MPEGCodec(75, gop=gop)
+        encoded = codec.encode_value(video)
+        # Random access cost: decode the frame just before each keyframe
+        # (the worst case: longest delta chain).
+        worst = [min(k + gop - 1, 59) for k in range(0, 60, gop)][:4]
+        start = time.perf_counter()
+        for index in worst * 3:
+            encoded.frame(index)
+        elapsed = time.perf_counter() - start
+        rate = (len(worst) * 3) / elapsed
+        data[gop] = (encoded.compression_ratio(), rate)
+        lines.append(f"{gop:<6}{data[gop][0]:>19.1f}{data[gop][1]:>26,.0f}")
+    lines += [
+        "",
+        "shape: longer GOPs compress better but random access pays a",
+        "longer delta-chain decode — the classic interframe trade-off.",
+    ]
+    exhibit("ablation_mpeg_gop", "\n".join(lines))
+    assert data[30][0] > data[1][0]  # longer GOP compresses better
+    assert data[1][1] > data[30][1]  # but random access is cheaper at GOP 1
+
+    benchmark(lambda: MPEGCodec(75, gop=10).encode_value(
+        moving_scene(10, 32, 24)).data_size_bits())
+
+
+def test_ablation_prebuffer(benchmark, exhibit):
+    """Sink presentation delay: absorbing constant pipeline latency."""
+    lines = [
+        "Ablation D — sink prebuffer vs presentation punctuality",
+        "",
+        f"{'prebuffer (ms)':<16}{'mean lateness vs schedule (ms)':>32}",
+    ]
+    results = {}
+    for delay in (0.0, 0.05, 0.1):
+        log = playback_latency(2.0, presentation_delay=delay)
+        # Lateness vs the *shifted* schedule (ideal + prebuffer).
+        lateness = log.mean_latency() - delay
+        results[delay] = lateness
+        lines.append(f"{delay * 1000:<16.0f}{lateness * 1000:>32.2f}")
+    lines += [
+        "",
+        "shape: once the prebuffer exceeds the constant pipeline latency,",
+        "every element presents exactly on its shifted schedule (0 ms).",
+    ]
+    exhibit("ablation_prebuffer", "\n".join(lines))
+    assert results[0.1] == pytest.approx(0.0, abs=1e-6)
+    assert results[0.0] > results[0.1]
+
+    benchmark(lambda: playback_latency(2.0, presentation_delay=0.1).mean_latency())

@@ -1,0 +1,85 @@
+"""Exp. C1 — the §3.3 data-placement claim.
+
+"it may simply not be possible for the database to simultaneously produce
+the two video values unless they reside on different devices ... the
+database system would ... need to copy one video value to a temporary
+area on a second device.  This could be so time-consuming as to destroy
+any sense of interactivity."
+
+Measures the mix start-up delay for same-device vs split placement across
+clip lengths: split placement starts in milliseconds (interactive), the
+copy fallback's delay grows linearly with clip size.
+"""
+
+from __future__ import annotations
+
+from repro.editing import Editor
+from repro.sim import Simulator
+from repro.storage import MagneticDisk, PlacementManager
+from repro.synth import moving_scene, noise_video
+
+# Interactivity threshold used by the shape checks: a mix that starts
+# within 100 ms feels interactive; seconds of copying does not.
+INTERACTIVE_S = 0.1
+
+
+def make_env(frames, split):
+    sim = Simulator()
+    manager = PlacementManager(sim)
+    a = moving_scene(frames, 64, 48)
+    b = noise_video(frames, 64, 48)
+    rate = a.data_rate_bps()
+    # The source device can stream 1.5 concurrent clips: one is fine,
+    # two is not — the paper's situation.
+    manager.add_device(MagneticDisk(sim, "src", bandwidth_bps=rate * 1.5))
+    manager.add_device(MagneticDisk(sim, "spare", bandwidth_bps=rate * 4))
+    manager.place(a, "src")
+    manager.place(b, "spare" if split else "src")
+    return sim, manager, a, b
+
+
+def run_mix(frames, split):
+    sim, manager, a, b = make_env(frames, split)
+    editor = Editor(manager)
+    proc = sim.spawn(editor.mix(a, b))
+    outcome = sim.run_until_complete(proc)
+    return outcome
+
+
+def test_claim_placement_start_delay(benchmark, exhibit):
+    lines = [
+        "C1 — same-device vs split placement for interactive video mixing",
+        "",
+        f"{'clip frames':<13}{'placement':<13}{'copied':<8}"
+        f"{'start delay (s)':>16}{'interactive?':>14}",
+    ]
+    measured = {}
+    for frames in (15, 30, 60):
+        for split in (False, True):
+            outcome = run_mix(frames, split)
+            label = "split" if split else "same-device"
+            interactive = outcome.start_delay_seconds < INTERACTIVE_S
+            measured[(frames, split)] = outcome
+            lines.append(
+                f"{frames:<13}{label:<13}{str(outcome.copied):<8}"
+                f"{outcome.start_delay_seconds:>16.3f}"
+                f"{str(interactive):>14}"
+            )
+    exhibit("claim_placement", "\n".join(lines))
+
+    # Shape: split placement is interactive at every size; same-device
+    # placement always copies, and its delay grows with clip length.
+    for frames in (15, 30, 60):
+        assert measured[(frames, True)].start_delay_seconds < INTERACTIVE_S
+        assert measured[(frames, False)].copied
+        assert measured[(frames, False)].start_delay_seconds > INTERACTIVE_S
+    assert (measured[(60, False)].copy_seconds
+            > measured[(15, False)].copy_seconds * 2)
+
+    result = benchmark(lambda: run_mix(30, False))
+    assert result.result.num_frames == 30
+
+
+def test_claim_placement_split_benchmark(benchmark):
+    outcome = benchmark(lambda: run_mix(30, True))
+    assert not outcome.copied

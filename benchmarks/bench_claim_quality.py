@@ -1,0 +1,130 @@
+"""Exp. C5 — the §4.1 quality-factor / scalable-video claim.
+
+"Using a scalable representation, a video value encoded at one quality
+can be viewed at a lower quality by ignoring some of the encoded data."
+and: given a quality factor, the system determines "a data representation
+..., the appropriate encoding parameters, and storage and processing
+requirements."
+
+Sweeps requested quality factors against one stored high-quality value,
+measuring bits served and delivered geometry/rate; and sweeps the
+negotiator's representation choice against bandwidth budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import JPEGCodec
+from repro.quality import Negotiator, VideoQuality, parse_quality, scale_video_quality
+from repro.synth import moving_scene
+
+STORED_FRAMES = 60
+STORED = VideoQuality(128, 96, 8, 30.0)
+
+
+def serve_at(requested):
+    """Serve the stored clip at a requested quality by dropping data."""
+    value = moving_scene(STORED_FRAMES, STORED.width, STORED.height)
+    plan = scale_video_quality(STORED, requested)
+    frames = value.frames_array[::plan.frame_keep_every,
+                                ::plan.spatial_divisor,
+                                ::plan.spatial_divisor]
+    return plan, frames
+
+
+def test_claim_quality_scalable_service(benchmark, exhibit):
+    requests = ["128x96x8@30", "64x48x8@30", "64x48x8@15", "32x24x8@10",
+                "256x192x8@60"]
+    full_bits = STORED.width * STORED.height * 8 * STORED_FRAMES
+    lines = [
+        f"C5 — scalable service of one stored clip ({STORED}, "
+        f"{STORED_FRAMES} frames)",
+        "",
+        f"{'requested':<16}{'delivered':<16}{'bits served':>14}"
+        f"{'% of stored':>13}",
+    ]
+    served_bits = {}
+    for request in requests:
+        plan, frames = serve_at(parse_quality(request))
+        bits = frames.size * 8
+        served_bits[request] = bits
+        lines.append(
+            f"{request:<16}{str(plan.delivered):<16}{bits:>14,}"
+            f"{bits / full_bits * 100:>12.1f}%"
+        )
+    lines += [
+        "",
+        "shape: lower requests serve proportionally fewer bits; a request",
+        "above the stored quality serves the stored data unchanged",
+        "(upscaling adds no information).",
+    ]
+    exhibit("claim_quality_scalable", "\n".join(lines))
+
+    assert served_bits["128x96x8@30"] == full_bits
+    assert served_bits["256x192x8@60"] == full_bits  # no upscaling
+    assert served_bits["64x48x8@30"] == pytest.approx(full_bits / 4, rel=0.1)
+    assert served_bits["64x48x8@15"] == pytest.approx(full_bits / 8, rel=0.1)
+    assert served_bits["32x24x8@10"] < full_bits / 40
+
+    benchmark(lambda: serve_at(parse_quality("64x48x8@15"))[1].sum())
+
+
+def test_claim_quality_negotiation_sweep(benchmark, exhibit):
+    """The negotiator's representation choice under bandwidth budgets."""
+    quality = VideoQuality(320, 240, 8, 30.0)
+    raw_bps = quality.raw_bps
+    budgets = [None, raw_bps, raw_bps / 4, raw_bps / 10]
+    negotiator = Negotiator(prefer_compressed=False)
+    lines = [
+        f"C5b — representation negotiation for {quality} "
+        f"(raw = {raw_bps / 1e6:.1f} Mb/s)",
+        "",
+        f"{'bandwidth budget':<20}{'representation':<16}"
+        f"{'stream (Mb/s)':>14}{'decode cost':>13}",
+    ]
+    chosen = {}
+    for budget in budgets:
+        plan = negotiator.plan(quality, bandwidth_budget_bps=budget)
+        label = "unlimited" if budget is None else f"{budget / 1e6:.1f} Mb/s"
+        chosen[budget] = plan
+        lines.append(
+            f"{label:<20}{plan.representation.codec_name:<16}"
+            f"{plan.bandwidth_bps / 1e6:>14.2f}{plan.decode_cost:>13.1f}"
+        )
+    exhibit("claim_quality_negotiation", "\n".join(lines))
+
+    assert chosen[None].representation.codec_name == "raw"
+    assert chosen[raw_bps / 4].representation.codec_name != "raw"
+    assert chosen[raw_bps / 10].bandwidth_bps <= raw_bps / 10
+
+    benchmark(lambda: negotiator.plan(quality, bandwidth_budget_bps=raw_bps / 4))
+
+
+def test_claim_quality_jpeg_knob(benchmark, exhibit):
+    """The codec-level quality knob: rate/distortion really trades off."""
+    import numpy as np
+    video = moving_scene(10, 64, 48)
+    lines = [
+        "C5c — JPEG-codec quality knob (rate vs distortion)",
+        "",
+        f"{'quality':<10}{'bits/frame':>12}{'mean abs error':>16}",
+    ]
+    points = []
+    for q in (10, 30, 50, 75, 95):
+        codec = JPEGCodec(q)
+        encoded = codec.encode_value(video)
+        decoded = codec.decode_value(encoded)
+        error = float(np.abs(decoded.astype(int)
+                             - video.frames_array.astype(int)).mean())
+        bits = encoded.data_size_bits() / encoded.num_frames
+        points.append((q, bits, error))
+        lines.append(f"{q:<10}{bits:>12,.0f}{error:>16.2f}")
+    exhibit("claim_quality_jpeg_knob", "\n".join(lines))
+
+    bits_series = [p[1] for p in points]
+    error_series = [p[2] for p in points]
+    assert bits_series == sorted(bits_series)
+    assert error_series == sorted(error_series, reverse=True)
+
+    benchmark(lambda: JPEGCodec(75).encode_value(video).data_size_bits())

@@ -1,0 +1,125 @@
+"""Exp. C3 — the §3.3 synchronization claim.
+
+"because of unpredictable system latencies, AV values tend to jitter and
+require regular resynchronization. ... Such a composite would maintain
+the synchronization of its component activities."
+
+Plays the Newscast composite with random-walk latency jitter injected
+into each track's source, sweeping the resynchronization interval.
+Without resync, drift accumulates and inter-track skew grows with clip
+length; with regular resync, skew stays bounded.
+"""
+
+from __future__ import annotations
+
+from repro.activities import ActivityGraph, MultiSink, MultiSource
+from repro.activities.library import (
+    AudioReader,
+    Speaker,
+    SubtitleWindow,
+    TextReader,
+    VideoReader,
+    VideoWindow,
+)
+from repro.sim import Simulator
+from repro.streams.sync import RandomWalkJitter
+from repro.synth import newscast_clip
+
+VIDEO_FRAMES = 90  # a 3-second clip: long enough for drift to bite
+JITTER_STEP = 0.004
+JITTER_BIAS = 2.5
+
+
+def run_playback(resync_interval):
+    sim = Simulator()
+    clip = newscast_clip(video_frames=VIDEO_FRAMES, audio_seconds=3.0)
+    source = MultiSource(sim, name="dbSource", resync_interval=resync_interval)
+    sink = MultiSink(sim, name="appSink")
+    for i, track in enumerate(clip.track_names):
+        value = clip.value(track)
+        jitter = RandomWalkJitter(step=JITTER_STEP, bias=JITTER_BIAS, seed=10 + i)
+        if track == "videoTrack":
+            reader = VideoReader(sim, name=f"r.{track}", jitter=jitter)
+            consumer = VideoWindow(sim, name=f"p.{track}", keep_payloads=False)
+        elif track == "subtitleTrack":
+            reader = TextReader(sim, name=f"r.{track}", jitter=jitter)
+            consumer = SubtitleWindow(sim, name=f"p.{track}")
+        else:
+            reader = AudioReader(sim, name=f"r.{track}", jitter=jitter)
+            consumer = Speaker(sim, name=f"p.{track}", keep_payloads=False)
+        reader.bind(value)
+        source.install(reader, track=track)
+        sink.install(consumer, track=track)
+    graph = ActivityGraph(sim)
+    graph.add(source)
+    graph.add(sink)
+    graph.connect_composites(source, sink)
+    graph.run_to_completion()
+    return source.max_skew()
+
+
+def test_claim_sync_resync_bounds_skew(benchmark, exhibit):
+    intervals = [None, 30, 10, 5]
+    skews = {interval: run_playback(interval) for interval in intervals}
+    lines = [
+        "C3 — inter-track skew vs resynchronization interval",
+        f"    ({VIDEO_FRAMES}-frame clip, random-walk jitter "
+        f"step={JITTER_STEP*1000:.0f} ms)",
+        "",
+        f"{'resync every':<16}{'max inter-track skew (ms)':>28}",
+    ]
+    for interval in intervals:
+        label = "never" if interval is None else f"{interval} elements"
+        lines.append(f"{label:<16}{skews[interval] * 1000:>28.2f}")
+    exhibit("claim_sync", "\n".join(lines))
+
+    # Shape: no resync drifts worst; tighter intervals bound skew harder.
+    assert skews[None] > skews[30] > skews[5]
+    assert skews[5] < skews[None] / 3
+
+    benchmark(lambda: run_playback(10))
+
+
+def test_claim_sync_drift_grows_with_length(benchmark, exhibit):
+    """Without resync, longer streams drift further — why *regular*
+    resynchronization (not one-off alignment) is required."""
+
+    def run(frames):
+        sim = Simulator()
+        clip = newscast_clip(video_frames=frames,
+                             audio_seconds=frames / 30.0)
+        source = MultiSource(sim, name="s", resync_interval=None)
+        sink = MultiSink(sim, name="k")
+        for i, track in enumerate(("videoTrack", "englishTrack")):
+            value = clip.value(track)
+            jitter = RandomWalkJitter(step=JITTER_STEP, bias=JITTER_BIAS,
+                                      seed=20 + i)
+            if track == "videoTrack":
+                reader = VideoReader(sim, name=f"r{i}", jitter=jitter)
+                consumer = VideoWindow(sim, name=f"p{i}", keep_payloads=False)
+            else:
+                reader = AudioReader(sim, name=f"r{i}", jitter=jitter)
+                consumer = Speaker(sim, name=f"p{i}", keep_payloads=False)
+            reader.bind(value)
+            source.install(reader, track=track)
+            sink.install(consumer, track=track)
+        graph = ActivityGraph(sim)
+        graph.add(source)
+        graph.add(sink)
+        graph.connect_composites(source, sink)
+        graph.run_to_completion()
+        return source.max_skew()
+
+    lengths = (30, 90, 180)
+    skews = {n: run(n) for n in lengths}
+    lines = [
+        "C3b — unsynchronized drift vs stream length",
+        "",
+        f"{'frames':<10}{'max skew (ms)':>16}",
+    ]
+    for n in lengths:
+        lines.append(f"{n:<10}{skews[n] * 1000:>16.2f}")
+    exhibit("claim_sync_drift", "\n".join(lines))
+    assert skews[180] > skews[30]
+
+    benchmark(lambda: run(60))

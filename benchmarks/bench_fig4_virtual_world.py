@@ -1,0 +1,78 @@
+"""Exp. F4 — Fig. 4: alternative activity graphs for the virtual world.
+
+Runs the walkthrough in both configurations — client-side rendering
+(Fig. 4 top: the client has 3D hardware and pulls the video stream) and
+database-side rendering (bottom: poses go up, rendered rasters come
+down) — across stored-video qualities and view resolutions, and reports
+network bytes per frame for each.  The shape to reproduce: compressed
+video + fat client minimizes traffic; tiny views from bulky raw sources
+favour database-side rendering (the crossover the paper's 'depending upon
+the capabilities and resources' sentence implies).
+"""
+
+from __future__ import annotations
+
+from repro.codecs import JPEGCodec, MPEGCodec
+from repro.render import Rasterizer, client_side_rendering, database_side_rendering, walk_path
+from repro.synth import moving_scene
+
+STEPS = 20
+
+
+def stored_variants():
+    base = moving_scene(STEPS, 64, 48)
+    return [
+        ("raw 64x48", base),
+        ("jpeg 64x48", JPEGCodec(75).encode_value(base)),
+        ("mpeg 64x48", MPEGCodec(75).encode_value(base)),
+    ]
+
+
+def test_fig4_network_comparison(benchmark, exhibit):
+    path = walk_path(STEPS)
+    lines = [
+        "Fig. 4 — client-side vs database-side rendering",
+        "",
+        f"{'stored video':<14}{'view':<10}{'client-side B/frame':>22}"
+        f"{'db-side B/frame':>18}{'winner':>12}",
+    ]
+    shapes = []
+    for label, video in stored_variants():
+        for view_w, view_h in ((96, 72), (32, 24)):
+            rasterizer = Rasterizer(view_w, view_h)
+            fat = client_side_rendering(video, path, rasterizer=rasterizer)
+            thin = database_side_rendering(video, path, rasterizer=rasterizer)
+            winner = "client" if fat.network_bits < thin.network_bits else "database"
+            shapes.append((label, (view_w, view_h), winner))
+            lines.append(
+                f"{label:<14}{f'{view_w}x{view_h}':<10}"
+                f"{fat.network_bytes_per_frame:>22,.0f}"
+                f"{thin.network_bytes_per_frame:>18,.0f}{winner:>12}"
+            )
+    exhibit("fig4_virtual_world", "\n".join(lines))
+
+    # Shape checks: a fat client with MPEG video always wins; a thin
+    # client wins when the source is raw and the view is small.
+    results = dict(((label, view), winner) for label, view, winner in shapes)
+    assert results[("mpeg 64x48", (96, 72))] == "client"
+    assert results[("mpeg 64x48", (32, 24))] == "client"
+    assert results[("raw 64x48", (32, 24))] == "database"
+
+    video = stored_variants()[2][1]  # mpeg
+
+    def run():
+        result = client_side_rendering(video, path, rasterizer=Rasterizer(48, 36))
+        return result.frames_presented
+
+    assert benchmark(run) == STEPS
+
+
+def test_fig4_database_side_benchmark(benchmark):
+    video = MPEGCodec(75).encode_value(moving_scene(STEPS, 64, 48))
+    path = walk_path(STEPS)
+
+    def run():
+        result = database_side_rendering(video, path, rasterizer=Rasterizer(48, 36))
+        return result.frames_presented
+
+    assert benchmark(run) == STEPS

@@ -1,0 +1,155 @@
+"""Exp. T1 — Table 1: the video activity catalog.
+
+Regenerates the table from the live classes and measures each activity's
+element throughput in free-run mode (the DESIGN.md ablation: no rate
+pacing, pure processing).  The paper's table has no numbers; the measured
+column documents the relative costs of the eight activity kinds on this
+substrate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.activities import ActivityGraph
+from repro.activities.library import (
+    ActivityCatalog,
+    VideoDecoder,
+    VideoDigitizer,
+    VideoEncoder,
+    VideoMixer,
+    VideoReader,
+    VideoTee,
+    VideoWindow,
+    VideoWriter,
+)
+from repro.codecs import JPEGCodec
+from repro.sim import Simulator
+from repro.synth import analog_master, moving_scene
+
+FRAMES = 60
+W, H = 64, 48
+
+
+def free_run(graph):
+    for activity in graph.activities.values():
+        activity.paced = False
+        if hasattr(activity, "components"):
+            for component in activity.components.values():
+                component.paced = False
+    graph.run_to_completion()
+
+
+def build_pipeline(kind: str):
+    """One measurable pipeline per Table 1 row; returns (graph, count_fn)."""
+    sim = Simulator()
+    graph = ActivityGraph(sim)
+    video = moving_scene(FRAMES, W, H)
+    codec = JPEGCodec(75)
+
+    if kind == "video digitizer":
+        digitizer = graph.add(VideoDigitizer(sim))
+        digitizer.bind(analog_master(FRAMES, W, H))
+        sink = graph.add(VideoWriter(sim, rate=30.0))
+        graph.connect(digitizer.port("video_out"), sink.port("video_in"))
+        return graph, lambda: digitizer.elements_produced
+    if kind == "video reader":
+        reader = graph.add(VideoReader(sim))
+        reader.bind(video)
+        sink = graph.add(VideoWriter(sim, rate=30.0))
+        graph.connect(reader.port("video_out"), sink.port("video_in"))
+        return graph, lambda: reader.elements_produced
+    if kind == "video encoder":
+        reader = graph.add(VideoReader(sim))
+        reader.bind(video)
+        encoder = graph.add(VideoEncoder(sim, codec))
+        sink = graph.add(VideoWriter(sim, rate=30.0, codec=codec, geometry=(W, H, 8)))
+        graph.connect(reader.port("video_out"), encoder.port("video_in"))
+        graph.connect(encoder.port("video_out"), sink.port("video_in"))
+        return graph, lambda: encoder.elements_processed
+    if kind == "video decoder":
+        encoded = codec.encode_value(video)
+        reader = graph.add(VideoReader(sim))
+        reader.bind(encoded)
+        decoder = graph.add(VideoDecoder(sim, codec, W, H, 8))
+        sink = graph.add(VideoWriter(sim, rate=30.0))
+        graph.connect(reader.port("video_out"), decoder.port("video_in"))
+        graph.connect(decoder.port("video_out"), sink.port("video_in"))
+        return graph, lambda: decoder.elements_processed
+    if kind == "video mixer":
+        r1 = graph.add(VideoReader(sim, name="r1"))
+        r1.bind(video)
+        r2 = graph.add(VideoReader(sim, name="r2"))
+        r2.bind(moving_scene(FRAMES, W, H, seed=7))
+        mixer = graph.add(VideoMixer(sim))
+        sink = graph.add(VideoWriter(sim, rate=30.0))
+        graph.connect(r1.port("video_out"), mixer.port("video_in_0"))
+        graph.connect(r2.port("video_out"), mixer.port("video_in_1"))
+        graph.connect(mixer.port("video_out"), sink.port("video_in"))
+        return graph, lambda: mixer.elements_processed
+    if kind == "video tee":
+        reader = graph.add(VideoReader(sim))
+        reader.bind(video)
+        tee = graph.add(VideoTee(sim))
+        s1 = graph.add(VideoWriter(sim, rate=30.0, name="w1"))
+        s2 = graph.add(VideoWriter(sim, rate=30.0, name="w2"))
+        graph.connect(reader.port("video_out"), tee.port("video_in"))
+        graph.connect(tee.port("video_out_0"), s1.port("video_in"))
+        graph.connect(tee.port("video_out_1"), s2.port("video_in"))
+        return graph, lambda: tee.elements_processed
+    if kind == "video window":
+        reader = graph.add(VideoReader(sim))
+        reader.bind(video)
+        window = graph.add(VideoWindow(sim, keep_payloads=False))
+        graph.connect(reader.port("video_out"), window.port("video_in"))
+        return graph, lambda: window.elements_consumed
+    if kind == "video writer":
+        reader = graph.add(VideoReader(sim))
+        reader.bind(video)
+        writer = graph.add(VideoWriter(sim, rate=30.0))
+        graph.connect(reader.port("video_out"), writer.port("video_in"))
+        return graph, lambda: writer.elements_consumed
+    raise ValueError(kind)
+
+
+KINDS = [row.activity for row in ActivityCatalog.rows()]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_table1_activity_throughput(benchmark, kind):
+    def run():
+        graph, count = build_pipeline(kind)
+        free_run(graph)
+        return count()
+
+    processed = benchmark(run)
+    assert processed == FRAMES
+
+
+def test_table1_reproduction(benchmark, exhibit):
+    """Reprint Table 1 with a measured wall-clock throughput column."""
+    rows = []
+    for row in ActivityCatalog.rows():
+        graph, count = build_pipeline(row.activity)
+        start = time.perf_counter()
+        free_run(graph)
+        elapsed = time.perf_counter() - start
+        rows.append((row, count() / elapsed))
+    header = (f"{'activity':<17}{'kind':<13}{'input type':<18}"
+              f"{'output type':<18}{'frames/s (measured)':>20}")
+    lines = [header, "-" * len(header)]
+    for row, fps in rows:
+        lines.append(
+            f"{row.activity:<17}{row.kind:<13}{row.input_type:<18}"
+            f"{row.output_type:<18}{fps:>20,.0f}"
+        )
+    exhibit("table1_activities", "\n".join(lines))
+
+    graph_builder = lambda: build_pipeline("video reader")
+    def run():
+        graph, count = graph_builder()
+        free_run(graph)
+        return count()
+    benchmark(run)

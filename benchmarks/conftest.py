@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one paper exhibit (table/figure) or measures one
+prose claim (see DESIGN.md section 4).  Since the paper reports no
+numbers, each bench prints the regenerated exhibit and saves it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the measured values.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def exhibit():
+    """Report one exhibit: print it and persist it to results/."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _report

@@ -1,0 +1,69 @@
+"""Scenario II — the virtual-world AV database (paper §3.2, Fig. 4).
+
+"An AV database supporting 'virtual worlds' is provided as a network
+service. ... Users interactively move through the virtual world by
+querying the database.  As the user changes position, a new visualization
+of the world is rendered ..., resulting in a sequence of images (an AV
+value) being sent to the user."
+
+Runs a museum walkthrough with video projected on a wall, in both Fig. 4
+configurations (client-side and database-side rendering), prints the
+network-traffic comparison, and writes a few rendered frames as PGM
+images under examples/output/.
+
+Run:  python examples/virtual_world.py
+"""
+
+import pathlib
+
+from repro.codecs import MPEGCodec
+from repro.render import (
+    Rasterizer,
+    client_side_rendering,
+    database_side_rendering,
+    walk_path,
+)
+from repro.synth import moving_scene
+
+OUTPUT = pathlib.Path(__file__).parent / "output"
+STEPS = 24
+
+
+def save_pgm(path: pathlib.Path, frame) -> None:
+    """Write a grayscale frame as a binary PGM (viewable anywhere)."""
+    height, width = frame.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{width} {height}\n255\n".encode())
+        f.write(frame.tobytes())
+
+
+def main() -> None:
+    OUTPUT.mkdir(exist_ok=True)
+    # The "video material projected on a wall": an MPEG-stored clip.
+    wall_video = MPEGCodec(80).encode_value(moving_scene(STEPS, 64, 48))
+    path = walk_path(STEPS, start=(0.0, 1.6, -7.0), end=(0.0, 1.6, -2.0))
+    rasterizer = Rasterizer(width=160, height=120)
+
+    print("walking through the virtual museum "
+          f"({STEPS} steps, {rasterizer.width}x{rasterizer.height} view)...")
+    fat = client_side_rendering(wall_video, path, rasterizer=rasterizer)
+    thin = database_side_rendering(wall_video, path, rasterizer=rasterizer)
+
+    print(f"\n{'configuration':<42}{'frames':>8}{'net KiB':>10}{'KiB/frame':>11}")
+    for result in (fat, thin):
+        print(f"{result.configuration:<42}{result.frames_presented:>8}"
+              f"{result.network_bits / 8 / 1024:>10.1f}"
+              f"{result.network_bytes_per_frame / 1024:>11.2f}")
+    winner = "client-side" if fat.network_bits < thin.network_bits else "database-side"
+    print(f"\nwith compressed wall video, {winner} rendering minimizes traffic")
+    print("(swap in a raw video and a small viewport and the trade-off flips;")
+    print(" see benchmarks/bench_fig4_virtual_world.py for the full sweep)")
+
+    for step in (0, STEPS // 2, STEPS - 1):
+        target = OUTPUT / f"walkthrough_{step:02d}.pgm"
+        save_pgm(target, fat.frames[step])
+        print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — an AV database system.
+
+A complete implementation of the framework of Gibbs, Breiteneder &
+Tsichritzis, *Audio/Video Databases: An Object-Oriented Approach*
+(ICDE 1993): the AV data model (``MediaValue`` and friends), temporal
+composition (``tcomp`` / timelines), flow composition (activities, ports,
+composites, activity graphs), and an AV database system with an
+asynchronous stream-based client interface — plus every substrate the
+framework needs (DES kernel, codecs, storage/placement, network channels,
+an OODBMS, a 3D renderer, hypermedia links, non-linear editing).
+
+Quickstart::
+
+    from repro import AVDatabaseSystem, MagneticDisk, Q
+    from repro.synth import moving_scene
+
+    system = AVDatabaseSystem()
+    system.add_storage(MagneticDisk(system.simulator, "disk0"))
+    video = moving_scene(30)
+    system.store_value(video, "disk0")
+    session = system.open_session()
+    source = session.new_db_source(video)
+    window = session.new_video_window("320x240x8@30")
+    stream = session.connect(source, window)
+    stream.start()
+    session.run()
+    assert len(window.presented) == 30
+"""
+
+from repro.activities import (
+    ActivityGraph,
+    ActivityKind,
+    ActivityState,
+    CompositeActivity,
+    Connection,
+    Direction,
+    Location,
+    MediaActivity,
+    MultiSink,
+    MultiSource,
+    Port,
+)
+from repro.avdb import AVDatabaseSystem
+from repro.avtime import AllenRelation, Interval, ObjectTime, Timecode, TimeMapping, WorldTime
+from repro.db import AttributeSpec, ClassDef, Database, DBObject, OID, Q
+from repro.errors import AVDBError
+from repro.net import Channel
+from repro.quality import AudioQuality, VideoQuality, parse_quality
+from repro.session import Session, Stream
+from repro.sim import Simulator
+from repro.storage import JukeboxDevice, MagneticDisk, PlacementManager, WritableCD
+from repro.temporal import TCompSpec, TemporalComposite, Timeline, TrackSpec
+from repro.values import (
+    AudioValue,
+    ImageValue,
+    MediaValue,
+    MIDIValue,
+    RawAudioValue,
+    RawVideoValue,
+    TextStreamValue,
+    VideoValue,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # system
+    "AVDatabaseSystem", "Session", "Stream", "Simulator", "AVDBError",
+    # data model
+    "MediaValue", "VideoValue", "RawVideoValue", "AudioValue", "RawAudioValue",
+    "TextStreamValue", "ImageValue", "MIDIValue",
+    # time
+    "WorldTime", "ObjectTime", "Timecode", "Interval", "AllenRelation", "TimeMapping",
+    # temporal composition
+    "TCompSpec", "TrackSpec", "Timeline", "TemporalComposite",
+    # flow composition
+    "MediaActivity", "ActivityGraph", "ActivityKind", "ActivityState",
+    "CompositeActivity", "MultiSource", "MultiSink",
+    "Port", "Direction", "Connection", "Location",
+    # quality
+    "VideoQuality", "AudioQuality", "parse_quality",
+    # database
+    "Database", "ClassDef", "AttributeSpec", "Q", "OID", "DBObject",
+    # substrates
+    "Channel", "MagneticDisk", "WritableCD", "JukeboxDevice", "PlacementManager",
+]

@@ -1,0 +1,55 @@
+"""Flow composition: AV activities (paper §4.2, Table 1, Fig. 2).
+
+"Our approach is to give applications control over active AV data, that
+is streams, through the creation and manipulation of instances of
+'activity classes'."
+
+* :class:`MediaActivity` — the abstract framework class: ports, events,
+  ``Bind`` / ``Cue`` / ``Start`` / ``Stop`` / ``Catch``;
+* :class:`Port` / :class:`Connection` — typed, directed stream endpoints
+  and the rule "an 'in' port can be connected to an 'out' port provided
+  they are of the same data type";
+* :class:`CompositeActivity` — flow composition's second mechanism:
+  component activities with re-exported ports and maintained
+  synchronization;
+* :class:`ActivityGraph` — a validated group of connected activities;
+* :mod:`repro.activities.library` — the full Table 1 catalog plus the
+  audio/text equivalents.
+"""
+
+from repro.activities.base import ActivityKind, ActivityState, Location, MediaActivity
+from repro.activities.composite import CompositeActivity, MultiSink, MultiSource
+from repro.activities.events import (
+    EVENT_EACH_ELEMENT,
+    EVENT_EACH_FRAME,
+    EVENT_FINISHED,
+    EVENT_LAST_ELEMENT,
+    EVENT_LAST_FRAME,
+    EVENT_STARTED,
+    EVENT_STOPPED,
+    EventDispatcher,
+)
+from repro.activities.graph import ActivityGraph
+from repro.activities.ports import Connection, Direction, Port
+
+__all__ = [
+    "MediaActivity",
+    "ActivityState",
+    "ActivityKind",
+    "Location",
+    "Port",
+    "Direction",
+    "Connection",
+    "CompositeActivity",
+    "MultiSource",
+    "MultiSink",
+    "ActivityGraph",
+    "EventDispatcher",
+    "EVENT_STARTED",
+    "EVENT_STOPPED",
+    "EVENT_FINISHED",
+    "EVENT_EACH_ELEMENT",
+    "EVENT_LAST_ELEMENT",
+    "EVENT_EACH_FRAME",
+    "EVENT_LAST_FRAME",
+]

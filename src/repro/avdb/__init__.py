@@ -1,0 +1,19 @@
+"""The integrated AV database system (paper §3.1 definition 4, Fig. 3).
+
+"An AV database system is a software/hardware entity managing a
+collection of AV values and AV activities. ... Clients (applications)
+issue requests to the database.  Certain requests, such as queries, may
+return references to AV values ... Other requests cause AV values to be
+produced, consumed and processed.  These requests involve AV activities,
+which may exist within the client or within the database system."
+
+:class:`AVDatabaseSystem` composes the substrates: the object database
+(passive state), the placement manager and simulated devices (storage),
+shared special-purpose hardware with allocation control, the activity
+graph (active state) and per-client network channels.
+"""
+
+from repro.avdb.resources import ResourceManager, SharedDevicePool
+from repro.avdb.system import AVDatabaseSystem
+
+__all__ = ["AVDatabaseSystem", "ResourceManager", "SharedDevicePool"]

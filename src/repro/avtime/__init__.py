@@ -1,0 +1,23 @@
+"""Temporal coordinate systems for AV values (paper section 4.1).
+
+The ``MediaValue`` class of the paper distinguishes two temporal coordinate
+systems:
+
+* **world time** — a media-independent time axis measured in seconds; the
+  units are fixed by the framework.
+* **object time** — a media-dependent axis whose units are a subclass
+  responsibility; e.g. video measures object time in *timecode* (frame
+  numbers at 1/30 s granularity), audio in sample numbers.
+
+This package provides the two coordinate types, SMPTE-style timecode,
+intervals on the world-time axis, and the affine world/object mappings that
+implement the paper's ``WorldToObject`` / ``ObjectToWorld`` / ``Scale`` /
+``Translate`` methods.
+"""
+
+from repro.avtime.coords import ObjectTime, WorldTime
+from repro.avtime.interval import AllenRelation, Interval
+from repro.avtime.mapping import TimeMapping
+from repro.avtime.timecode import Timecode
+
+__all__ = ["WorldTime", "ObjectTime", "Timecode", "Interval", "AllenRelation", "TimeMapping"]

@@ -1,0 +1,143 @@
+"""Half-open intervals on the world-time axis and Allen's interval algebra.
+
+Temporal composition (paper section 4.1, Fig. 1) positions each track of a
+composite on a shared timeline as a (start, duration) pair.  ``Interval``
+represents that span as the half-open interval ``[start, end)`` and
+implements the thirteen Allen relations, which the temporal-composition
+layer uses to describe and validate track correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.avtime.coords import WorldTime
+from repro.errors import TemporalError
+
+
+class AllenRelation(Enum):
+    """The thirteen basic relations of Allen's interval algebra."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met-by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped-by"
+    STARTS = "starts"
+    STARTED_BY = "started-by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished-by"
+    EQUALS = "equals"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        return _INVERSES[self]
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """The half-open world-time interval ``[start, start + duration)``.
+
+    Zero-duration intervals are allowed (instantaneous events such as a
+    subtitle flash); negative durations are not.
+    """
+
+    start: WorldTime
+    duration: WorldTime
+
+    def __post_init__(self) -> None:
+        if self.duration.is_negative():
+            raise TemporalError(f"interval duration must be >= 0, got {self.duration!r}")
+
+    @classmethod
+    def between(cls, start: WorldTime, end: WorldTime) -> "Interval":
+        if end < start:
+            raise TemporalError(f"interval end {end!r} precedes start {start!r}")
+        return cls(start, end - start)
+
+    @property
+    def end(self) -> WorldTime:
+        return self.start + self.duration
+
+    def is_empty(self) -> bool:
+        return self.duration.seconds == 0
+
+    def contains_time(self, when: WorldTime) -> bool:
+        """Whether ``when`` falls inside the half-open span."""
+        return self.start <= when < self.end
+
+    def shifted(self, delta: WorldTime) -> "Interval":
+        return Interval(self.start + delta, self.duration)
+
+    def scaled(self, factor: float) -> "Interval":
+        """Scale the duration about the start point (paper's ``Scale``)."""
+        if factor < 0:
+            raise TemporalError(f"scale factor must be >= 0, got {factor}")
+        return Interval(self.start, self.duration * factor)
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Overlapping span, or ``None`` when the spans are disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi < lo or hi == lo:
+            return None
+        return Interval.between(lo, hi)
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both (the timeline extent rule)."""
+        lo = min(self.start, other.start)
+        hi = max(self.end, other.end)
+        return Interval.between(lo, hi)
+
+    def relation_to(self, other: "Interval") -> AllenRelation:
+        """Classify this interval against ``other`` per Allen's algebra.
+
+        Zero-duration intervals degenerate some relations; ties on
+        endpoints are resolved exactly as in the standard algebra.
+        """
+        s1, e1 = self.start, self.end
+        s2, e2 = other.start, other.end
+        if s1 == s2 and e1 == e2:
+            return AllenRelation.EQUALS
+        if e1 < s2:
+            return AllenRelation.BEFORE
+        if e2 < s1:
+            return AllenRelation.AFTER
+        if e1 == s2:
+            return AllenRelation.MEETS
+        if e2 == s1:
+            return AllenRelation.MET_BY
+        if s1 == s2:
+            return AllenRelation.STARTS if e1 < e2 else AllenRelation.STARTED_BY
+        if e1 == e2:
+            return AllenRelation.FINISHES if s1 > s2 else AllenRelation.FINISHED_BY
+        if s2 < s1 and e1 < e2:
+            return AllenRelation.DURING
+        if s1 < s2 and e2 < e1:
+            return AllenRelation.CONTAINS
+        return AllenRelation.OVERLAPS if s1 < s2 else AllenRelation.OVERLAPPED_BY
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start.seconds:g}s..{self.end.seconds:g}s)"

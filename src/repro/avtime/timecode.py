@@ -1,0 +1,95 @@
+"""SMPTE-style timecode.
+
+The paper gives video timecode as the canonical example of object time: "a
+subclass dealing with video could measure object time using video 'timecode'
+(where the smallest unit is 1/30th of a second)".  ``Timecode`` converts
+between ``HH:MM:SS:FF`` strings, frame counts and world time for an
+arbitrary integer frame rate (non-drop-frame).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.avtime.coords import WorldTime
+from repro.errors import TemporalError
+
+_TIMECODE_RE = re.compile(r"^(\d{2}):(\d{2}):(\d{2}):(\d{2})$")
+
+
+@dataclass(frozen=True, slots=True)
+class Timecode:
+    """A non-drop-frame timecode at an integer frame rate.
+
+    Attributes
+    ----------
+    frames:
+        Total frame count since timecode zero.
+    rate:
+        Frames per second (default 30, the paper's smallest video unit).
+    """
+
+    frames: int
+    rate: int = 30
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise TemporalError(f"timecode rate must be positive, got {self.rate}")
+        if self.frames < 0:
+            raise TemporalError(f"timecode frame count must be >= 0, got {self.frames}")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, rate: int = 30) -> "Timecode":
+        """Parse an ``HH:MM:SS:FF`` string."""
+        match = _TIMECODE_RE.match(text)
+        if match is None:
+            raise TemporalError(f"malformed timecode {text!r} (expected HH:MM:SS:FF)")
+        hh, mm, ss, ff = (int(g) for g in match.groups())
+        if mm >= 60 or ss >= 60 or ff >= rate:
+            raise TemporalError(f"timecode fields out of range in {text!r} at rate {rate}")
+        total = ((hh * 60 + mm) * 60 + ss) * rate + ff
+        return cls(total, rate)
+
+    @classmethod
+    def from_world(cls, when: WorldTime, rate: int = 30) -> "Timecode":
+        """Timecode of the frame being displayed at world time ``when``."""
+        if when.is_negative():
+            raise TemporalError(f"cannot form a timecode from negative time {when!r}")
+        return cls(int(when.seconds * rate), rate)
+
+    # -- conversions ---------------------------------------------------
+    def to_world(self) -> WorldTime:
+        return WorldTime(self.frames / self.rate)
+
+    @property
+    def fields(self) -> tuple[int, int, int, int]:
+        """(hours, minutes, seconds, frames) fields."""
+        ff = self.frames % self.rate
+        total_seconds = self.frames // self.rate
+        ss = total_seconds % 60
+        mm = (total_seconds // 60) % 60
+        hh = total_seconds // 3600
+        return hh, mm, ss, ff
+
+    def __str__(self) -> str:
+        hh, mm, ss, ff = self.fields
+        return f"{hh:02d}:{mm:02d}:{ss:02d}:{ff:02d}"
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Timecode") -> "Timecode":
+        if not isinstance(other, Timecode):
+            return NotImplemented
+        if other.rate != self.rate:
+            raise TemporalError(f"cannot add timecodes at different rates ({self.rate} vs {other.rate})")
+        return Timecode(self.frames + other.frames, self.rate)
+
+    def __sub__(self, other: "Timecode") -> "Timecode":
+        if not isinstance(other, Timecode):
+            return NotImplemented
+        if other.rate != self.rate:
+            raise TemporalError(f"cannot subtract timecodes at different rates ({self.rate} vs {other.rate})")
+        if other.frames > self.frames:
+            raise TemporalError("timecode subtraction would be negative")
+        return Timecode(self.frames - other.frames, self.rate)

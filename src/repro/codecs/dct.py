@@ -1,0 +1,177 @@
+"""Intraframe block-DCT codec (JPEG-like).
+
+Each frame channel is tiled into 8x8 blocks, transformed with the
+orthonormal DCT-II, quantized with a JPEG-style quantization table scaled
+by a quality parameter, and entropy-coded with DEFLATE.  Lossy: higher
+``quality`` keeps more coefficient precision at a lower compression ratio,
+so benchmark C5 can sweep the rate/quality trade-off with a real knob.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.codecs.base import VideoCodec
+from repro.errors import CodecError
+from repro.values.video import JPEGVideoValue, frame_shape
+
+BLOCK = 8
+
+# The luminance quantization table of JPEG Annex K — the classic trade-off
+# between low- and high-frequency precision.
+_QUANT_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal DCT-II matrix: ``D @ x`` transforms columns."""
+    k = np.arange(n)[:, np.newaxis]
+    i = np.arange(n)[np.newaxis, :]
+    mat = np.cos(np.pi * (2 * i + 1) * k / (2 * n)) * np.sqrt(2.0 / n)
+    mat[0, :] = np.sqrt(1.0 / n)
+    return mat
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def quant_table(quality: int) -> np.ndarray:
+    """JPEG-style quality scaling of the base table (quality 1..100)."""
+    if not 1 <= quality <= 100:
+        raise CodecError(f"JPEG quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((_QUANT_BASE * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)
+
+
+def _pad_to_blocks(channel: np.ndarray) -> np.ndarray:
+    h, w = channel.shape
+    ph = (-h) % BLOCK
+    pw = (-w) % BLOCK
+    if ph or pw:
+        channel = np.pad(channel, ((0, ph), (0, pw)), mode="edge")
+    return channel
+
+
+def _to_blocks(channel: np.ndarray) -> np.ndarray:
+    """(H, W) -> (H//8 * W//8, 8, 8) row-major block view."""
+    h, w = channel.shape
+    blocks = channel.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+    return blocks.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK)
+
+
+def _from_blocks(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    bh, bw = h // BLOCK, w // BLOCK
+    grid = blocks.reshape(bh, bw, BLOCK, BLOCK).transpose(0, 2, 1, 3)
+    return grid.reshape(h, w)
+
+
+def dct_quantize_channel(
+    channel: np.ndarray, table: np.ndarray
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Forward path: centered float plane -> (int16 coefficients, padded shape)."""
+    padded = _pad_to_blocks(channel)
+    blocks = _to_blocks(padded.astype(np.float64))
+    coeffs = _DCT @ blocks @ _IDCT
+    quantized = np.round(coeffs / table)
+    return quantized.astype(np.int16), padded.shape
+
+
+def dct_dequantize_channel(quantized: np.ndarray, table: np.ndarray,
+                           padded_shape: tuple[int, int],
+                           out_shape: tuple[int, int]) -> np.ndarray:
+    """Inverse path: int16 coefficients -> float plane (centered)."""
+    coeffs = quantized.astype(np.float64) * table
+    blocks = _IDCT @ coeffs @ _DCT
+    plane = _from_blocks(blocks, *padded_shape)
+    return plane[: out_shape[0], : out_shape[1]]
+
+
+def _split_channels(frame: np.ndarray) -> List[np.ndarray]:
+    if frame.ndim == 2:
+        return [frame]
+    return [frame[:, :, c] for c in range(frame.shape[2])]
+
+
+def _join_channels(planes: List[np.ndarray], depth: int) -> np.ndarray:
+    if depth == 8:
+        return planes[0]
+    return np.stack(planes, axis=2)
+
+
+class JPEGCodec(VideoCodec):
+    """Intraframe DCT codec with a JPEG-style quality knob."""
+
+    name = "jpeg"
+    value_class = JPEGVideoValue
+
+    #: chunk header: magic, quality, padded height, padded width
+    _HEADER = struct.Struct("<4sBHH")
+    _MAGIC = b"JPG0"
+
+    def __init__(self, quality: int = 75) -> None:
+        self.quality = quality
+        self._table = quant_table(quality)
+
+    def encode_frame(self, frame: np.ndarray) -> bytes:
+        """Encode one frame (used directly by the interframe codec)."""
+        planes = _split_channels(np.asarray(frame))
+        encoded_planes = []
+        padded_shape = None
+        for plane in planes:
+            centered = plane.astype(np.float64) - 128.0
+            quantized, padded_shape = dct_quantize_channel(centered, self._table)
+            encoded_planes.append(quantized.tobytes())
+        payload = zlib.compress(b"".join(encoded_planes), level=6)
+        header = self._HEADER.pack(self._MAGIC, self.quality,
+                                   padded_shape[0], padded_shape[1])
+        return header + payload
+
+    def decode_frame(self, chunk: bytes, width: int, height: int, depth: int) -> np.ndarray:
+        """Decode one intraframe chunk back to a uint8 frame."""
+        magic, quality, ph, pw = self._HEADER.unpack_from(chunk)
+        if magic != self._MAGIC:
+            raise CodecError(f"not a JPEG-codec chunk (magic {magic!r})")
+        table = quant_table(quality)
+        raw = zlib.decompress(chunk[self._HEADER.size:])
+        channels = 1 if depth == 8 else 3
+        per_plane = len(raw) // channels
+        blocks_per_plane = (ph // BLOCK) * (pw // BLOCK)
+        planes = []
+        for c in range(channels):
+            quantized = np.frombuffer(
+                raw[c * per_plane:(c + 1) * per_plane], dtype=np.int16
+            ).reshape(blocks_per_plane, BLOCK, BLOCK)
+            plane = dct_dequantize_channel(quantized, table, (ph, pw), (height, width))
+            planes.append(np.clip(plane + 128.0, 0, 255).astype(np.uint8))
+        frame = _join_channels(planes, depth)
+        self._check_geometry(frame, width, height, depth)
+        return frame
+
+    # -- VideoCodec interface --------------------------------------------
+    def encode_frames(self, frames: Sequence[np.ndarray]) -> List[bytes]:
+        return [self.encode_frame(f) for f in frames]
+
+    def decode_frame_at(self, chunks: Sequence[bytes], index: int,
+                        width: int, height: int, depth: int) -> np.ndarray:
+        frame_shape(width, height, depth)  # validate geometry early
+        return self.decode_frame(chunks[index], width, height, depth)

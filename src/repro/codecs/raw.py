@@ -1,0 +1,38 @@
+"""Identity codec: frames packed as raw bytes.
+
+Used wherever a "raw" chunk representation is needed — e.g. the video
+writer activity persisting uncompressed frames, or as the degenerate
+baseline in the compression benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.codecs.base import VideoCodec
+from repro.errors import CodecError
+from repro.values.video import EncodedVideoValue, frame_shape
+
+
+class RawCodec(VideoCodec):
+    """Packs each frame's pixels as little-endian uint8 bytes, 1:1."""
+
+    name = "raw"
+    value_class = EncodedVideoValue
+
+    def encode_frames(self, frames: Sequence[np.ndarray]) -> List[bytes]:
+        return [np.ascontiguousarray(f, dtype=np.uint8).tobytes() for f in frames]
+
+    def decode_frame_at(self, chunks: Sequence[bytes], index: int,
+                        width: int, height: int, depth: int) -> np.ndarray:
+        """Unpack a raw chunk back into a frame array (length-checked)."""
+        shape = frame_shape(width, height, depth)
+        expected_len = int(np.prod(shape))
+        chunk = chunks[index]
+        if len(chunk) != expected_len:
+            raise CodecError(
+                f"raw chunk length {len(chunk)} != expected {expected_len} for {shape}"
+            )
+        return np.frombuffer(chunk, dtype=np.uint8).reshape(shape)

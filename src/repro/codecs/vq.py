@@ -1,0 +1,140 @@
+"""Block vector-quantization codec (DVI/Indeo-flavoured).
+
+DVI's Production Level Video used vector quantization; this codec keeps
+that flavour: each frame channel is tiled into 2x2 blocks, a 256-entry
+codebook is trained per frame by uniform luminance binning with centroid
+refinement (a single Lloyd iteration — cheap and deterministic), and each
+block is replaced by its nearest codebook index.  Indices plus codebook
+are DEFLATE-packed.  Fixed ~4x pre-DEFLATE ratio with moderate loss.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.codecs.base import VideoCodec
+from repro.errors import CodecError
+from repro.values.video import DVIVideoValue
+
+BLOCK = 2
+CODEBOOK_SIZE = 256
+_VEC = BLOCK * BLOCK
+
+
+def _to_vectors(plane: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    """Pad a (H, W) plane to 2x2 tiles and return (n, 4) block vectors."""
+    h, w = plane.shape
+    ph, pw = (-h) % BLOCK, (-w) % BLOCK
+    if ph or pw:
+        plane = np.pad(plane, ((0, ph), (0, pw)), mode="edge")
+    hh, ww = plane.shape
+    vectors = (
+        plane.reshape(hh // BLOCK, BLOCK, ww // BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, _VEC)
+    )
+    return vectors.astype(np.float64), (hh, ww)
+
+
+def _from_vectors(vectors: np.ndarray, padded: tuple[int, int],
+                  shape: tuple[int, int]) -> np.ndarray:
+    hh, ww = padded
+    plane = (
+        vectors.reshape(hh // BLOCK, ww // BLOCK, BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(hh, ww)
+    )
+    return plane[: shape[0], : shape[1]]
+
+
+def train_codebook(vectors: np.ndarray) -> np.ndarray:
+    """Build a 256-entry codebook: luminance-binned init + one Lloyd step."""
+    luminance = vectors.mean(axis=1)
+    order = np.argsort(luminance, kind="stable")
+    bins = np.array_split(order, CODEBOOK_SIZE)
+    codebook = np.array([
+        vectors[idx].mean(axis=0) if idx.size else np.zeros(_VEC)
+        for idx in bins
+    ])
+    # One refinement step: reassign, recompute centroids.
+    assignment = assign_vectors(vectors, codebook)
+    for k in range(CODEBOOK_SIZE):
+        members = vectors[assignment == k]
+        if members.size:
+            codebook[k] = members.mean(axis=0)
+    return np.clip(np.round(codebook), 0, 255).astype(np.uint8)
+
+
+def assign_vectors(vectors: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Nearest-codeword index for each block vector (squared L2)."""
+    # (n, 1, 4) - (1, k, 4) would be large; chunk to bound memory.
+    out = np.empty(vectors.shape[0], dtype=np.uint8)
+    cb = codebook.astype(np.float64)
+    cb_norms = (cb * cb).sum(axis=1)
+    step = 8192
+    for lo in range(0, vectors.shape[0], step):
+        chunk = vectors[lo:lo + step]
+        # argmin over ||v - c||^2 = ||c||^2 - 2 v.c (||v||^2 constant per v)
+        scores = cb_norms[np.newaxis, :] - 2.0 * chunk @ cb.T
+        out[lo:lo + step] = np.argmin(scores, axis=1).astype(np.uint8)
+    return out
+
+
+class DVICodec(VideoCodec):
+    """Per-frame 2x2 vector quantization with a 256-entry codebook."""
+
+    name = "dvi"
+    value_class = DVIVideoValue
+
+    _HEADER = struct.Struct("<4sHH")
+    _MAGIC = b"DVI0"
+
+    def encode_frame(self, frame: np.ndarray) -> bytes:
+        """Quantize one frame: train a codebook, emit codebook + indices."""
+        frame = np.asarray(frame)
+        planes = [frame] if frame.ndim == 2 else [frame[:, :, c] for c in range(3)]
+        parts: List[bytes] = []
+        padded = None
+        for plane in planes:
+            vectors, padded = _to_vectors(plane)
+            codebook = train_codebook(vectors)
+            indices = assign_vectors(vectors, codebook.astype(np.float64))
+            parts.append(codebook.tobytes() + indices.tobytes())
+        payload = zlib.compress(b"".join(parts), level=6)
+        return self._HEADER.pack(self._MAGIC, padded[0], padded[1]) + payload
+
+    def encode_frames(self, frames: Sequence[np.ndarray]) -> List[bytes]:
+        return [self.encode_frame(f) for f in frames]
+
+    def decode_frame_at(self, chunks: Sequence[bytes], index: int,
+                        width: int, height: int, depth: int) -> np.ndarray:
+        """Rebuild a frame from its codebook and block indices."""
+        chunk = chunks[index]
+        magic, ph, pw = self._HEADER.unpack_from(chunk)
+        if magic != self._MAGIC:
+            raise CodecError(f"not a DVI-codec chunk (magic {magic!r})")
+        raw = zlib.decompress(chunk[self._HEADER.size:])
+        channels = 1 if depth == 8 else 3
+        blocks_per_plane = (ph // BLOCK) * (pw // BLOCK)
+        plane_bytes = CODEBOOK_SIZE * _VEC + blocks_per_plane
+        if len(raw) != channels * plane_bytes:
+            raise CodecError(
+                f"DVI chunk payload {len(raw)} bytes != expected {channels * plane_bytes}"
+            )
+        planes = []
+        for c in range(channels):
+            part = raw[c * plane_bytes:(c + 1) * plane_bytes]
+            codebook = np.frombuffer(part[: CODEBOOK_SIZE * _VEC], dtype=np.uint8)
+            codebook = codebook.reshape(CODEBOOK_SIZE, _VEC)
+            indices = np.frombuffer(part[CODEBOOK_SIZE * _VEC:], dtype=np.uint8)
+            vectors = codebook[indices]
+            planes.append(
+                _from_vectors(vectors, (ph, pw), (height, width)).astype(np.uint8)
+            )
+        frame = planes[0] if depth == 8 else np.stack(planes, axis=2)
+        self._check_geometry(frame, width, height, depth)
+        return frame

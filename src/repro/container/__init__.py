@@ -1,0 +1,36 @@
+"""A track-based AV container format (the paper's future work [5]).
+
+"A track-like structure is a common feature among the emerging multimedia
+data formats.  Temporal composition naturally describes this structure"
+(§4.1), and the conclusion states: "We are exploring this issue by
+modelling a particular AV format in detail."  This package is that
+modelling exercise: a QuickTime-flavoured container that serializes a
+:class:`~repro.temporal.TemporalComposite` to one byte stream and back.
+
+The format (see :mod:`repro.container.format`) is atom-structured:
+
+* ``MOOV`` — movie header: timeline span, track table;
+* ``TRAK`` — per-track metadata: name, media type, rate, geometry,
+  element count, timeline placement;
+* ``MDAT`` — media data: element chunks *interleaved by presentation
+  time*, so a sequential read delivers elements in the order a player
+  needs them (the streaming-friendly layout real containers use).
+"""
+
+from repro.container.format import (
+    ContainerReader,
+    ContainerWriter,
+    read_composite,
+    write_composite,
+)
+
+__all__ = [
+    "ContainerWriter",
+    "ContainerReader",
+    "write_composite",
+    "read_composite",
+]
+
+from repro.container.demux import ContainerDemuxer  # noqa: E402
+
+__all__.append("ContainerDemuxer")

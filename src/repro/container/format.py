@@ -1,0 +1,328 @@
+"""The container format: atoms, track table, time-interleaved media data.
+
+Layout (all integers little-endian)::
+
+    FTYP atom: magic "AVDB", format version u16
+    MOOV atom: u16 track count, then one TRAK atom per track
+      TRAK payload:
+        name            (u8 length + utf-8)
+        media type name (u8 length + utf-8)
+        codec name      (u8 length + utf-8; "" = uncoded)
+        codec params    (u16 length + JSON utf-8)
+        rate f64, start f64, scale f64     (the value's time mapping)
+        element count u32
+        geometry: width u16, height u16, depth u8, channels u8
+                  (zeroed where not applicable)
+    MDAT atom: sample records, each
+        track index u16, element index u32, payload size u32, payload
+
+Sample records are ordered by ideal presentation time, so a sequential
+scan of MDAT yields elements in playback order — the interleaved,
+streaming-friendly layout of real track-based formats.
+
+Supported track value classes: raw and encoded video, raw and encoded
+audio (audio grouped into blocks of up to 1024 sample frames per record),
+and text streams.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import BinaryIO, Dict, List, Tuple
+
+import numpy as np
+
+from repro.avtime import TimeMapping, WorldTime
+from repro.codecs.registry import get_codec
+from repro.errors import DataModelError
+from repro.temporal import TCompSpec, TemporalComposite, Timeline, TimelineEntry, TrackSpec
+from repro.values.audio import EncodedAudioValue, RawAudioValue
+from repro.values.base import MediaValue
+from repro.values.mediatype import standard_type
+from repro.values.text import TextItem, TextStreamValue
+from repro.values.video import EncodedVideoValue, RawVideoValue
+
+MAGIC = b"AVDB"
+VERSION = 1
+AUDIO_BLOCK = 1024
+
+_ATOM = struct.Struct("<I4s")
+_FTYP = struct.Struct("<4sH")
+_TRAK_FIXED = struct.Struct("<dddIHHBB")
+_SAMPLE = struct.Struct("<HII")
+
+
+def _write_atom(out: BinaryIO, kind: bytes, payload: bytes) -> None:
+    out.write(_ATOM.pack(len(payload), kind))
+    out.write(payload)
+
+
+def _read_atom(data: bytes, offset: int) -> Tuple[bytes, bytes, int]:
+    if offset + _ATOM.size > len(data):
+        raise DataModelError("truncated container: atom header missing")
+    size, kind = _ATOM.unpack_from(data, offset)
+    start = offset + _ATOM.size
+    end = start + size
+    if end > len(data):
+        raise DataModelError(f"truncated container: {kind!r} atom body missing")
+    return kind, data[start:end], end
+
+
+def _pack_str(text: str, width: str = "B") -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(f"<{width}", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int, width: str = "B") -> Tuple[str, int]:
+    size = struct.calcsize(f"<{width}")
+    (length,) = struct.unpack_from(f"<{width}", data, offset)
+    start = offset + size
+    return data[start:start + length].decode("utf-8"), start + length
+
+
+class _TrackInfo:
+    """Parsed TRAK metadata plus collected sample payloads."""
+
+    def __init__(self, name: str, media_type: str, codec: str, params: dict,
+                 rate: float, start: float, scale: float, count: int,
+                 width: int, height: int, depth: int, channels: int) -> None:
+        self.name = name
+        self.media_type = media_type
+        self.codec = codec
+        self.params = params
+        self.rate = rate
+        self.start = start
+        self.scale = scale
+        self.count = count
+        self.width = width
+        self.height = height
+        self.depth = depth
+        self.channels = channels
+        self.samples: Dict[int, bytes] = {}
+
+
+class ContainerWriter:
+    """Serializes a temporal composite into the container format."""
+
+    def write(self, composite: TemporalComposite, out: BinaryIO) -> None:
+        _write_atom(out, b"FTYP", _FTYP.pack(MAGIC, VERSION))
+        tracks = [(name, composite.value(name))
+                  for name in composite.track_names]
+        moov = io.BytesIO()
+        moov.write(struct.pack("<H", len(tracks)))
+        for name, value in tracks:
+            _write_atom(moov, b"TRAK", self._trak_payload(name, value))
+        _write_atom(out, b"MOOV", moov.getvalue())
+        _write_atom(out, b"MDAT", self._mdat_payload(tracks))
+
+    # -- TRAK ------------------------------------------------------------
+    def _trak_payload(self, name: str, value: MediaValue) -> bytes:
+        codec_name, params = self._codec_of(value)
+        width = height = depth = channels = 0
+        count = value.element_count
+        if isinstance(value, (RawVideoValue, EncodedVideoValue)):
+            width, height, depth = value.width, value.height, value.depth
+        elif isinstance(value, (RawAudioValue, EncodedAudioValue)):
+            channels, depth = value.num_channels, value.depth
+        elif not isinstance(value, TextStreamValue):
+            raise DataModelError(
+                f"container cannot carry a {type(value).__name__} track"
+            )
+        payload = io.BytesIO()
+        payload.write(_pack_str(name))
+        payload.write(_pack_str(value.media_type.name))
+        payload.write(_pack_str(codec_name))
+        payload.write(_pack_str(json.dumps(params), width="H"))
+        payload.write(_TRAK_FIXED.pack(
+            value.mapping.rate, value.mapping.start.seconds,
+            value.mapping.scale, count, width, height, depth, channels,
+        ))
+        return payload.getvalue()
+
+    @staticmethod
+    def _codec_of(value: MediaValue) -> Tuple[str, dict]:
+        if isinstance(value, EncodedVideoValue):
+            codec = value.codec
+            params = {}
+            for key in ("quality", "gop", "delta_quant"):
+                if hasattr(codec, key):
+                    params[key] = getattr(codec, key)
+            return codec.name, params
+        if isinstance(value, EncodedAudioValue):
+            return value.codec.name, {}
+        return "", {}
+
+    # -- MDAT ------------------------------------------------------------
+    def _mdat_payload(self, tracks: List[Tuple[str, MediaValue]]) -> bytes:
+        records: List[Tuple[float, int, int, bytes]] = []
+        for track_index, (_name, value) in enumerate(tracks):
+            for element_index, when, payload in self._elements_of(value):
+                records.append((when, track_index, element_index, payload))
+        records.sort(key=lambda r: (r[0], r[1], r[2]))
+        out = io.BytesIO()
+        for when, track_index, element_index, payload in records:
+            out.write(_SAMPLE.pack(track_index, element_index, len(payload)))
+            out.write(payload)
+        return out.getvalue()
+
+    def _elements_of(self, value: MediaValue):
+        """(element index, ideal seconds, payload bytes) per sample record."""
+        mapping = value.mapping
+        if isinstance(value, EncodedVideoValue):
+            for i, chunk in enumerate(value.chunks):
+                yield i, mapping.start.seconds + i * mapping.scale / mapping.rate, chunk
+        elif isinstance(value, RawVideoValue):
+            for i in range(value.num_frames):
+                payload = np.ascontiguousarray(value.frame(i)).tobytes()
+                yield i, mapping.start.seconds + i * mapping.scale / mapping.rate, payload
+        elif isinstance(value, EncodedAudioValue):
+            span = value.codec.block_samples * mapping.scale / mapping.rate
+            for i, block in enumerate(value.blocks):
+                yield i, mapping.start.seconds + i * span, block
+        elif isinstance(value, RawAudioValue):
+            samples = value.samples()
+            for i, lo in enumerate(range(0, value.num_samples, AUDIO_BLOCK)):
+                block = np.ascontiguousarray(samples[:, lo:lo + AUDIO_BLOCK])
+                when = mapping.start.seconds + lo * mapping.scale / mapping.rate
+                yield i, when, block.tobytes()
+        elif isinstance(value, TextStreamValue):
+            for i in range(value.element_count):
+                item = value.item(i)
+                payload = struct.pack("<d", item.span) + item.text.encode("utf-8")
+                yield i, mapping.start.seconds + i * mapping.scale / mapping.rate, payload
+        else:
+            raise DataModelError(
+                f"container cannot carry a {type(value).__name__} track"
+            )
+
+
+class ContainerReader:
+    """Parses container bytes back into a temporal composite."""
+
+    def read(self, data: bytes, tcomp_name: str = "clip") -> TemporalComposite:
+        offset = 0
+        kind, payload, offset = _read_atom(data, offset)
+        if kind != b"FTYP":
+            raise DataModelError(f"not a container: leading atom {kind!r}")
+        magic, version = _FTYP.unpack_from(payload, 0)
+        if magic != MAGIC:
+            raise DataModelError(f"bad container magic {magic!r}")
+        if version != VERSION:
+            raise DataModelError(f"unsupported container version {version}")
+        kind, moov, offset = _read_atom(data, offset)
+        if kind != b"MOOV":
+            raise DataModelError(f"expected MOOV atom, got {kind!r}")
+        tracks = self._parse_moov(moov)
+        kind, mdat, offset = _read_atom(data, offset)
+        if kind != b"MDAT":
+            raise DataModelError(f"expected MDAT atom, got {kind!r}")
+        self._parse_mdat(mdat, tracks)
+        return self._rebuild(tracks, tcomp_name)
+
+    # -- parsing -----------------------------------------------------------
+    def _parse_moov(self, moov: bytes) -> List[_TrackInfo]:
+        (count,) = struct.unpack_from("<H", moov, 0)
+        offset = 2
+        tracks: List[_TrackInfo] = []
+        for _ in range(count):
+            kind, payload, offset = _read_atom(moov, offset)
+            if kind != b"TRAK":
+                raise DataModelError(f"expected TRAK atom, got {kind!r}")
+            tracks.append(self._parse_trak(payload))
+        return tracks
+
+    @staticmethod
+    def _parse_trak(payload: bytes) -> _TrackInfo:
+        name, offset = _unpack_str(payload, 0)
+        media_type, offset = _unpack_str(payload, offset)
+        codec, offset = _unpack_str(payload, offset)
+        params_json, offset = _unpack_str(payload, offset, width="H")
+        rate, start, scale, count, width, height, depth, channels = \
+            _TRAK_FIXED.unpack_from(payload, offset)
+        return _TrackInfo(name, media_type, codec, json.loads(params_json),
+                          rate, start, scale, count, width, height, depth,
+                          channels)
+
+    @staticmethod
+    def _parse_mdat(mdat: bytes, tracks: List[_TrackInfo]) -> None:
+        offset = 0
+        while offset < len(mdat):
+            track_index, element_index, size = _SAMPLE.unpack_from(mdat, offset)
+            offset += _SAMPLE.size
+            if track_index >= len(tracks):
+                raise DataModelError(f"sample for unknown track {track_index}")
+            payload = mdat[offset:offset + size]
+            if len(payload) != size:
+                raise DataModelError("truncated sample record")
+            tracks[track_index].samples[element_index] = payload
+            offset += size
+
+    # -- reconstruction ----------------------------------------------------
+    def _rebuild(self, tracks: List[_TrackInfo],
+                 tcomp_name: str) -> TemporalComposite:
+        values: Dict[str, MediaValue] = {}
+        specs: List[TrackSpec] = []
+        for info in tracks:
+            value = self._rebuild_value(info)
+            values[info.name] = value
+            specs.append(TrackSpec(info.name, standard_type(info.media_type)))
+        spec = TCompSpec(tcomp_name, tuple(specs))
+        timeline = Timeline([
+            TimelineEntry(info.name, values[info.name].interval)
+            for info in tracks
+        ])
+        return TemporalComposite(spec, values, timeline)
+
+    def _rebuild_value(self, info: _TrackInfo) -> MediaValue:
+        mapping = TimeMapping(info.rate, WorldTime(info.start), info.scale)
+        media_type = standard_type(info.media_type)
+        ordered = [info.samples[i] for i in sorted(info.samples)]
+        if media_type.kind.value == "video":
+            if info.codec:
+                codec = get_codec(info.codec, **info.params)
+                return codec.value_class(
+                    ordered, codec, info.width, info.height, info.depth,
+                    mapping=mapping,
+                )
+            shape = ((info.height, info.width) if info.depth == 8
+                     else (info.height, info.width, 3))
+            frames = np.stack([
+                np.frombuffer(p, dtype=np.uint8).reshape(shape)
+                for p in ordered
+            ])
+            return RawVideoValue(frames, mapping=mapping)
+        if media_type.kind.value == "audio":
+            if info.codec:
+                codec = get_codec(info.codec)
+                from repro.values.audio import ADPCMAudioValue, MuLawAudioValue
+                value_class = (MuLawAudioValue if info.codec == "mulaw"
+                               else ADPCMAudioValue)
+                return value_class(ordered, codec, info.channels, info.count,
+                                   info.rate, depth=info.depth, mapping=mapping)
+            blocks = [
+                np.frombuffer(p, dtype=np.int16).reshape(info.channels, -1)
+                for p in ordered
+            ]
+            return RawAudioValue(np.concatenate(blocks, axis=1),
+                                 depth=info.depth, mapping=mapping)
+        if media_type.kind.value == "text":
+            items = []
+            for payload in ordered:
+                (span,) = struct.unpack_from("<d", payload, 0)
+                items.append(TextItem(payload[8:].decode("utf-8"), span))
+            return TextStreamValue(items, mapping=mapping)
+        raise DataModelError(f"cannot rebuild a {info.media_type} track")
+
+
+def write_composite(composite: TemporalComposite) -> bytes:
+    """Serialize a composite to container bytes."""
+    out = io.BytesIO()
+    ContainerWriter().write(composite, out)
+    return out.getvalue()
+
+
+def read_composite(data: bytes, tcomp_name: str = "clip") -> TemporalComposite:
+    """Parse container bytes back into a composite."""
+    return ContainerReader().read(data, tcomp_name)

@@ -1,0 +1,199 @@
+"""The database facade: schema + store + locks + indexes + versions.
+
+Ties the substrate together and exposes the traditional-database surface
+the paper requires of an AV database system (§3.1): schema definition,
+transactions, queries returning references, index maintenance, versioning,
+checkpoint/recovery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.db.index import KeywordIndex, OrderedIndex
+from repro.db.locks import LockManager
+from repro.db.objects import DBObject, OID
+from repro.db.query import Predicate, Q
+from repro.db.schema import ClassDef, Schema
+from repro.db.store import OP_DELETE, OP_INSERT, OP_UPDATE, ObjectStore, Op
+from repro.db.transactions import Transaction
+from repro.db.versions import VersionCatalog
+from repro.errors import SchemaError
+
+
+class Database:
+    """An object database instance (optionally durable)."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 paged: bool = False, pool_capacity: int = 128) -> None:
+        self.schema = Schema()
+        if paged:
+            if directory is None:
+                raise SchemaError("a paged store requires a directory")
+            from repro.db.pagedstore import PagedObjectStore
+            self._store = PagedObjectStore(directory, pool_capacity)
+        else:
+            self._store = ObjectStore(directory)
+        # Ordered indexes are B-trees by default; the sorted-list
+        # OrderedIndex stays available for comparison (see the index
+        # ablation bench).
+        from repro.db.btree import BTreeIndex
+        self._index_factory = BTreeIndex
+        self._locks = LockManager()
+        self._tx_ids = itertools.count(1)
+        # (class_name, attribute) -> index
+        self._ordered: Dict[tuple, OrderedIndex] = {}
+        self._keyword: Dict[tuple, KeywordIndex] = {}
+        self.versions = VersionCatalog()
+        self.stats = {"commits": 0, "aborts": 0, "index_scans": 0, "full_scans": 0}
+
+    # -- schema ---------------------------------------------------------
+    def define_class(self, class_def: ClassDef) -> ClassDef:
+        """Register a class and create its declared indexes."""
+        self.schema.define(class_def)
+        for spec in class_def.attributes:
+            if spec.indexed:
+                self._ordered[(class_def.name, spec.name)] = self._index_factory(
+                    class_def.name, spec.name
+                )
+            if spec.keyword_indexed:
+                self._keyword[(class_def.name, spec.name)] = KeywordIndex(
+                    class_def.name, spec.name
+                )
+        return class_def
+
+    # -- transactions ------------------------------------------------------
+    def begin(self) -> Transaction:
+        return Transaction(self, next(self._tx_ids))
+
+    def _commit_transaction(self, tx: Transaction, ops: List[Op]) -> None:
+        # Maintain indexes: need old snapshots before the store applies.
+        index_moves = []
+        for kind, arg in ops:
+            if kind == OP_INSERT:
+                index_moves.append((None, arg))
+            elif kind == OP_UPDATE:
+                index_moves.append((self._store.get(arg.oid), arg))
+            elif kind == OP_DELETE:
+                index_moves.append((self._store.get(arg), None))
+        self._store.commit_ops(tx.tx_id, ops)
+        for old, new in index_moves:
+            self._reindex(old, new)
+            if new is not None and old is not None:
+                self.versions.record_update(new.oid, new.version)
+        self.stats["commits"] += 1
+
+    def _reindex(self, old: Optional[DBObject], new: Optional[DBObject]) -> None:
+        oid = (old or new).oid
+        class_name = oid.class_name
+        if class_name not in self.schema:
+            # Recovered objects whose class has not been redefined yet;
+            # rebuild_indexes() after the definition will pick them up.
+            return
+        for (cls, attr), index in self._ordered.items():
+            if not self.schema.is_subclass(class_name, cls):
+                continue
+            if old is not None:
+                index.remove(old.get(attr), oid)
+            if new is not None:
+                index.insert(new.get(attr), oid)
+        for (cls, attr), index in self._keyword.items():
+            if not self.schema.is_subclass(class_name, cls):
+                continue
+            if old is not None:
+                index.remove(old.get(attr), oid)
+            if new is not None:
+                index.insert(new.get(attr), oid)
+
+    # -- autocommit conveniences -----------------------------------------
+    def insert(self, class_name: str, **attributes: Any) -> OID:
+        with self.begin() as tx:
+            oid = tx.insert(class_name, **attributes)
+        return oid
+
+    def update(self, oid: OID, **changes: Any) -> DBObject:
+        with self.begin() as tx:
+            snapshot = tx.update(oid, **changes)
+        return snapshot
+
+    def delete(self, oid: OID) -> None:
+        with self.begin() as tx:
+            tx.delete(oid)
+
+    def get(self, oid: OID) -> DBObject:
+        """Non-transactional read of the latest committed snapshot."""
+        return self._store.get(oid)
+
+    def exists(self, oid: OID) -> bool:
+        return self._store.exists(oid)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- queries --------------------------------------------------------
+    def select(self, class_name: str, predicate: Optional[Predicate] = None,
+               include_subclasses: bool = True) -> List[OID]:
+        """``select <class> where <predicate>`` — returns references."""
+        predicate = predicate if predicate is not None else Q.true()
+        if class_name not in self.schema:
+            raise SchemaError(f"unknown class {class_name!r}")
+        classes = (
+            self.schema.subclasses_of(class_name)
+            if include_subclasses else [class_name]
+        )
+        results: List[OID] = []
+        for cls in classes:
+            ordered = {
+                attr: idx for (c, attr), idx in self._ordered.items() if c == cls
+            }
+            keyword = {
+                attr: idx for (c, attr), idx in self._keyword.items() if c == cls
+            }
+            plan = predicate.index_plan(ordered, keyword)
+            if plan is not None:
+                self.stats["index_scans"] += 1
+                candidates = sorted(o for o in plan if o.class_name == cls)
+            else:
+                self.stats["full_scans"] += 1
+                candidates = self._store.oids_of_class([cls])
+            results.extend(
+                oid for oid in candidates if predicate.matches(self._store.get(oid))
+            )
+        return sorted(results)
+
+    def query(self, text: str) -> List[OID]:
+        """Run a textual ``select <Class> where <expr>`` query (§4.3)."""
+        from repro.db.parser import parse_query
+        class_name, predicate = parse_query(text)
+        return self.select(class_name, predicate)
+
+    def select_one(self, class_name: str, predicate: Optional[Predicate] = None) -> OID:
+        matches = self.select(class_name, predicate)
+        if len(matches) != 1:
+            raise SchemaError(
+                f"select_one expected exactly 1 match, got {len(matches)}"
+            )
+        return matches[0]
+
+    # -- durability ----------------------------------------------------------
+    def checkpoint(self) -> None:
+        self._store.checkpoint()
+
+    def close(self) -> None:
+        self._store.close()
+
+    def rebuild_indexes(self) -> None:
+        """Repopulate all indexes from the store (after recovery)."""
+        for index in self._ordered.values():
+            index.__init__(index.class_name, index.attribute)
+        for index in self._keyword.values():
+            index.__init__(index.class_name, index.attribute)
+        for oid in self._store.all_oids():
+            self._reindex(None, self._store.get(oid))
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

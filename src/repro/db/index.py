@@ -1,0 +1,121 @@
+"""Ordered attribute indexes.
+
+A sorted-key index per (class, attribute) pair, supporting equality and
+range lookups.  Kept as sorted parallel arrays with bisect — the classic
+in-memory ordered index; rebuilt incrementally on commit by the database
+facade.  Keyword (containment) queries use a separate inverted index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Set
+
+from repro.db.objects import OID
+from repro.errors import QueryError
+
+
+class OrderedIndex:
+    """Ordered (key -> set of OIDs) index for one attribute."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        self.class_name = class_name
+        self.attribute = attribute
+        self._keys: List[Any] = []
+        self._buckets: Dict[Any, Set[OID]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def insert(self, key: Any, oid: OID) -> None:
+        if key is None:
+            return  # unindexed absence
+        if key not in self._buckets:
+            bisect.insort(self._keys, key)
+            self._buckets[key] = set()
+        self._buckets[key].add(oid)
+
+    def remove(self, key: Any, oid: OID) -> None:
+        """Drop one (key, oid) posting, pruning empty buckets."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(oid)
+        if not bucket:
+            del self._buckets[key]
+            position = bisect.bisect_left(self._keys, key)
+            if position < len(self._keys) and self._keys[position] == key:
+                del self._keys[position]
+
+    # -- lookups -------------------------------------------------------------
+    def eq(self, key: Any) -> Set[OID]:
+        return set(self._buckets.get(key, ()))
+
+    def range(self, lo: Optional[Any] = None, hi: Optional[Any] = None,
+              include_lo: bool = True, include_hi: bool = True) -> Set[OID]:
+        """OIDs with key in the given (optionally open) range."""
+        if lo is not None and hi is not None and lo > hi:
+            raise QueryError(f"range lower bound {lo!r} exceeds upper bound {hi!r}")
+        start = 0
+        if lo is not None:
+            start = bisect.bisect_left(self._keys, lo) if include_lo \
+                else bisect.bisect_right(self._keys, lo)
+        end = len(self._keys)
+        if hi is not None:
+            end = bisect.bisect_right(self._keys, hi) if include_hi \
+                else bisect.bisect_left(self._keys, hi)
+        result: Set[OID] = set()
+        for key in self._keys[start:end]:
+            result |= self._buckets[key]
+        return result
+
+    def min_key(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        return self._keys[-1] if self._keys else None
+
+
+class KeywordIndex:
+    """Inverted index for content-based keyword retrieval (§2)."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        self.class_name = class_name
+        self.attribute = attribute
+        self._postings: Dict[str, Set[OID]] = defaultdict(set)
+
+    @staticmethod
+    def _terms(value: Any) -> List[str]:
+        if value is None:
+            return []
+        if isinstance(value, str):
+            return [t.lower() for t in value.split()]
+        try:
+            return [str(t).lower() for t in value]
+        except TypeError:
+            return [str(value).lower()]
+
+    def insert(self, value: Any, oid: OID) -> None:
+        for term in self._terms(value):
+            self._postings[term].add(oid)
+
+    def remove(self, value: Any, oid: OID) -> None:
+        for term in self._terms(value):
+            bucket = self._postings.get(term)
+            if bucket is not None:
+                bucket.discard(oid)
+                if not bucket:
+                    del self._postings[term]
+
+    def lookup(self, term: str) -> Set[OID]:
+        return set(self._postings.get(term.lower(), ()))
+
+    def lookup_all(self, terms: List[str]) -> Set[OID]:
+        """OIDs containing every term (AND semantics)."""
+        if not terms:
+            return set()
+        result = self.lookup(terms[0])
+        for term in terms[1:]:
+            result &= self.lookup(term)
+        return result

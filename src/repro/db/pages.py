@@ -1,0 +1,402 @@
+"""Paged storage: heap file with slotted pages and an LRU buffer pool.
+
+The substrate beneath a disk-resident object store: fixed-size pages on a
+file, each a *slotted page* (slot directory grows down from the header,
+record bytes grow up from the end), accessed through a pinned/LRU
+:class:`BufferPool` that bounds memory and writes dirty pages back on
+eviction.  ``HeapFile`` stitches pages into an insert/read/delete record
+store addressed by :class:`RecordId`.
+
+Records larger than one page's free space are stored as *overflow
+chains* (first fragment in the home page, continuation pages linked by
+page id), so multi-megabyte pickled media objects fit naturally.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DatabaseError
+
+PAGE_SIZE = 4096
+
+# Page header: record count, free-space offset, overflow-next page id.
+_HEADER = struct.Struct("<HHi")
+# Slot: record offset, record length (0 length = deleted slot).
+_SLOT = struct.Struct("<HH")
+_NO_PAGE = -1
+
+
+class Page:
+    """One slotted page held in memory."""
+
+    __slots__ = ("page_id", "data", "dirty")
+
+    def __init__(self, page_id: int, data: Optional[bytearray] = None) -> None:
+        self.page_id = page_id
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            _HEADER.pack_into(data, 0, 0, PAGE_SIZE, _NO_PAGE)
+        self.data = data
+        self.dirty = False
+
+    # -- header access ---------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def free_offset(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    @property
+    def overflow_next(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[2]
+
+    def _set_header(self, count: int, free: int, overflow: int) -> None:
+        _HEADER.pack_into(self.data, 0, count, free, overflow)
+        self.dirty = True
+
+    def set_overflow_next(self, page_id: int) -> None:
+        self._set_header(self.record_count, self.free_offset, page_id)
+
+    # -- slots ----------------------------------------------------------
+    def _slot_position(self, slot: int) -> int:
+        return _HEADER.size + slot * _SLOT.size
+
+    def _slot(self, slot: int) -> Tuple[int, int]:
+        if not 0 <= slot < self.record_count:
+            raise DatabaseError(
+                f"page {self.page_id}: no slot {slot} "
+                f"(has {self.record_count})"
+            )
+        return _SLOT.unpack_from(self.data, self._slot_position(slot))
+
+    def free_space(self) -> int:
+        directory_end = self._slot_position(self.record_count) + _SLOT.size
+        return max(0, self.free_offset - directory_end)
+
+    def insert(self, record: bytes) -> int:
+        """Store a record; returns its slot number."""
+        needed = len(record)
+        if needed > self.free_space():
+            raise DatabaseError(
+                f"page {self.page_id}: record of {needed} bytes does not fit "
+                f"({self.free_space()} free)"
+            )
+        slot = self.record_count
+        offset = self.free_offset - needed
+        self.data[offset:offset + needed] = record
+        _SLOT.pack_into(self.data, self._slot_position(slot), offset, needed)
+        self._set_header(slot + 1, offset, self.overflow_next)
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        offset, length = self._slot(slot)
+        if length == 0:
+            raise DatabaseError(f"page {self.page_id} slot {slot} was deleted")
+        return bytes(self.data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Mark a slot deleted (space reclaimed by compaction/vacuum)."""
+        offset, length = self._slot(slot)
+        if length == 0:
+            raise DatabaseError(f"page {self.page_id} slot {slot} already deleted")
+        _SLOT.pack_into(self.data, self._slot_position(slot), offset, 0)
+        self.dirty = True
+
+    def live_slots(self) -> List[int]:
+        return [s for s in range(self.record_count) if self._slot(s)[1] > 0]
+
+
+class PageFile:
+    """Fixed-size pages on one file."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+        # "r+b" honours seeks on write; append mode would force every
+        # write to EOF and corrupt page updates.
+        mode = "r+b" if self.path.exists() else "w+b"
+        self._file = open(self.path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE != 0:
+            raise DatabaseError(
+                f"{self.path} is torn: {size} bytes is not a page multiple"
+            )
+        self._page_count = size // PAGE_SIZE
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate(self) -> int:
+        page_id = self._page_count
+        self._page_count += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        self._file.write(bytes(PAGE_SIZE))
+        return page_id
+
+    def read_page(self, page_id: int) -> Page:
+        """Read one page from disk (bounds- and length-checked)."""
+        if not 0 <= page_id < self._page_count:
+            raise DatabaseError(f"no page {page_id} (file has {self._page_count})")
+        self._file.seek(page_id * PAGE_SIZE)
+        data = bytearray(self._file.read(PAGE_SIZE))
+        if len(data) != PAGE_SIZE:
+            raise DatabaseError(f"short read of page {page_id}")
+        return Page(page_id, data)
+
+    def write_page(self, page: Page) -> None:
+        self._file.seek(page.page_id * PAGE_SIZE)
+        self._file.write(page.data)
+        page.dirty = False
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class BufferPool:
+    """Pinned LRU cache of pages over a :class:`PageFile`."""
+
+    def __init__(self, page_file: PageFile, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise DatabaseError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.page_file = page_file
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _evict_if_needed(self, keep: Optional[int] = None) -> None:
+        """Shrink to capacity; never evicts pinned pages or ``keep``
+        (the page the caller is about to hand out)."""
+        while len(self._frames) > self.capacity:
+            victim_id = next(
+                (pid for pid in self._frames
+                 if self._pins.get(pid, 0) == 0 and pid != keep),
+                None,
+            )
+            if victim_id is None:
+                raise DatabaseError(
+                    f"buffer pool full with {len(self._frames)} pinned pages"
+                )
+            victim = self._frames.pop(victim_id)
+            if victim.dirty:
+                self.page_file.write_page(victim)
+            self.evictions += 1
+
+    def fetch(self, page_id: int, pin: bool = False) -> Page:
+        """Return the page, reading it in (and evicting) as needed."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.misses += 1
+            self._frames[page_id] = self.page_file.read_page(page_id)
+            self._evict_if_needed(keep=page_id)
+        if pin:
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return self._frames[page_id]
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the page becomes evictable at zero pins."""
+        count = self._pins.get(page_id, 0)
+        if count <= 0:
+            raise DatabaseError(f"page {page_id} is not pinned")
+        if count == 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page and cache it dirty."""
+        page_id = self.page_file.allocate()
+        page = Page(page_id)
+        page.dirty = True
+        self._frames[page_id] = page
+        self._frames.move_to_end(page_id)
+        self._evict_if_needed(keep=page_id)
+        return page
+
+    def flush_all(self) -> None:
+        for page in self._frames.values():
+            if page.dirty:
+                self.page_file.write_page(page)
+        self.page_file.sync()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RecordId:
+    """Stable record address: home page + slot."""
+
+    page_id: int
+    slot: int
+
+
+# Fragment header inside each stored record piece: total remaining length.
+_FRAG = struct.Struct("<I")
+_MAX_FRAGMENT = PAGE_SIZE - _HEADER.size - 2 * _SLOT.size - _FRAG.size - 16
+
+
+class HeapFile:
+    """A record store over pages, with overflow chains for big records."""
+
+    def __init__(self, path: os.PathLike | str, pool_capacity: int = 64) -> None:
+        self.page_file = PageFile(path)
+        self.pool = BufferPool(self.page_file, pool_capacity)
+        # Last page we appended to; a simple free-space heuristic.
+        self._current_page: Optional[int] = (
+            self.page_file.page_count - 1 if self.page_file.page_count else None
+        )
+
+    # -- insert ----------------------------------------------------------
+    def insert(self, record: bytes) -> RecordId:
+        fragments = [record[i:i + _MAX_FRAGMENT]
+                     for i in range(0, len(record), _MAX_FRAGMENT)] or [b""]
+        remaining = len(record)
+        if len(fragments) == 1:
+            payload = _FRAG.pack(remaining) + fragments[0]
+            page = self._page_with_space(len(payload))
+            return RecordId(page.page_id, page.insert(payload))
+        # A fragmented record owns its whole page chain: every fragment
+        # goes to a dedicated fresh page so chain pointers never collide
+        # between records sharing a page.
+        home: Optional[RecordId] = None
+        previous_page: Optional[Page] = None
+        for fragment in fragments:
+            payload = _FRAG.pack(remaining) + fragment
+            page = self.pool.new_page()
+            # Pin until its overflow pointer is final, so eviction cannot
+            # detach the in-memory page we are still mutating.
+            self.pool.fetch(page.page_id, pin=True)
+            slot = page.insert(payload)
+            if home is None:
+                home = RecordId(page.page_id, slot)
+            if previous_page is not None:
+                previous_page.set_overflow_next(page.page_id)
+                self.pool.unpin(previous_page.page_id)
+            previous_page = page
+            remaining -= len(fragment)
+        if previous_page is not None:
+            self.pool.unpin(previous_page.page_id)
+        # Chain pages are exclusive: do not append later records to them.
+        self._current_page = None
+        return home
+
+    def _page_with_space(self, needed: int) -> Page:
+        if self._current_page is not None:
+            page = self.pool.fetch(self._current_page)
+            # Never append into a chain page picked up from a prior run.
+            if page.overflow_next == _NO_PAGE and page.free_space() >= needed:
+                return page
+        page = self.pool.new_page()
+        self._current_page = page.page_id
+        return page
+
+    # -- read ------------------------------------------------------------
+    def read(self, rid: RecordId) -> bytes:
+        """Reassemble a record, following its overflow chain if fragmented."""
+        page = self.pool.fetch(rid.page_id)
+        payload = page.read(rid.slot)
+        (total,) = _FRAG.unpack_from(payload, 0)
+        body = payload[_FRAG.size:]
+        parts = [body]
+        remaining = total - len(body)
+        current = page
+        while remaining > 0:
+            next_id = current.overflow_next
+            if next_id == _NO_PAGE:
+                raise DatabaseError(
+                    f"record {rid} truncated: {remaining} bytes missing"
+                )
+            current = self.pool.fetch(next_id)
+            # Continuation fragments are always slot 0 of their page.
+            payload = current.read(0)
+            body = payload[_FRAG.size:]
+            parts.append(body)
+            remaining -= len(body)
+        return b"".join(parts)
+
+    # -- delete ----------------------------------------------------------
+    def delete(self, rid: RecordId) -> None:
+        """Delete a record and every fragment of its overflow chain."""
+        page = self.pool.fetch(rid.page_id)
+        payload = page.read(rid.slot)
+        (total,) = _FRAG.unpack_from(payload, 0)
+        consumed = len(payload) - _FRAG.size
+        page.delete(rid.slot)
+        remaining = total - consumed
+        current = page
+        while remaining > 0:
+            next_id = current.overflow_next
+            if next_id == _NO_PAGE:
+                break
+            current = self.pool.fetch(next_id)
+            fragment = current.read(0)
+            current.delete(0)
+            remaining -= len(fragment) - _FRAG.size
+
+    # -- scan ------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
+        """All live *home* records (overflow continuations are skipped)."""
+        continuation_pages = set()
+        for page_id in range(self.page_file.page_count):
+            page = self.pool.fetch(page_id)
+            if page.overflow_next != _NO_PAGE:
+                continuation_pages.add(page.overflow_next)
+        for page_id in range(self.page_file.page_count):
+            if page_id in continuation_pages:
+                continue
+            page = self.pool.fetch(page_id)
+            for slot in page.live_slots():
+                yield RecordId(page_id, slot), self.read(RecordId(page_id, slot))
+
+    def vacuum(self) -> Dict[RecordId, RecordId]:
+        """Compact the heap: rewrite live records, dropping dead space.
+
+        Copies every live record into a fresh page file and swaps it in
+        place.  Returns the old-to-new record-id mapping so callers (the
+        paged object store) can re-point their maps.
+        """
+        import tempfile
+        live = list(self.scan())
+        directory = self.page_file.path.parent
+        with tempfile.NamedTemporaryFile(dir=directory, delete=False) as handle:
+            scratch_path = handle.name
+        os.unlink(scratch_path)  # HeapFile wants to create/own the file
+        compacted = HeapFile(scratch_path, self.pool.capacity)
+        mapping: Dict[RecordId, RecordId] = {}
+        for old_rid, payload in live:
+            mapping[old_rid] = compacted.insert(payload)
+        compacted.close()
+        self.pool.flush_all()
+        self.page_file.close()
+        os.replace(scratch_path, self.page_file.path)
+        # Re-open over the compacted file with a fresh pool.
+        self.page_file = PageFile(self.page_file.path)
+        self.pool = BufferPool(self.page_file, self.pool.capacity)
+        self._current_page = (
+            self.page_file.page_count - 1 if self.page_file.page_count else None
+        )
+        return mapping
+
+    def close(self) -> None:
+        self.pool.flush_all()
+        self.page_file.close()

@@ -1,0 +1,213 @@
+"""Textual query language: the paper's ``select ... where`` syntax.
+
+§4.3 writes queries as::
+
+    select SimpleNewscast where (title = "60 Minutes" and
+                                 whenBroadcast = someDate)
+
+:func:`parse_query` accepts exactly that shape (plus the usual
+comparison, boolean and containment operators) and compiles it to a
+class name + :class:`~repro.db.query.Predicate`, so sessions can accept
+query strings as well as predicate objects.
+
+Grammar (recursive descent)::
+
+    query      := "select" IDENT [ "where" expr ]
+    expr       := term { "or" term }
+    term       := factor { "and" factor }
+    factor     := "not" factor | "(" expr ")" | condition
+    condition  := IDENT op literal
+                | IDENT "between" literal "and" literal
+                | IDENT "contains" literal { "," literal }
+                | IDENT "like" literal
+                | IDENT "is" "null"
+    op         := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+    literal    := STRING | NUMBER | "true" | "false"
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.db.query import Predicate, Q
+from repro.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<op><=|>=|!=|==|=|<|>)
+  | (?P<punct>[(),])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "where", "and", "or", "not", "between",
+             "contains", "like", "is", "null", "true", "false"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'string' | 'number' | 'op' | 'punct' | 'word' | 'keyword'
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into string/number/operator/word tokens."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "word" and value.lower() in _KEYWORDS:
+            tokens.append(Token("keyword", value.lower(), match.start()))
+        else:
+            tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def _peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise QueryError(
+                f"expected {want!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind and \
+                (text is None or token.text == text):
+            self._index += 1
+            return token
+        return None
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Tuple[str, Predicate]:
+        """query := "select" IDENT [ "where" expr ]."""
+        self._expect("keyword", "select")
+        class_name = self._expect("word").text
+        predicate: Predicate = Q.true()
+        if self._accept("keyword", "where"):
+            predicate = self._expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise QueryError(
+                f"unexpected {trailing.text!r} at offset {trailing.position}"
+            )
+        return class_name, predicate
+
+    def _expr(self) -> Predicate:
+        left = self._term()
+        while self._accept("keyword", "or"):
+            left = left | self._term()
+        return left
+
+    def _term(self) -> Predicate:
+        left = self._factor()
+        while self._accept("keyword", "and"):
+            left = left & self._factor()
+        return left
+
+    def _factor(self) -> Predicate:
+        if self._accept("keyword", "not"):
+            return ~self._factor()
+        if self._accept("punct", "("):
+            inner = self._expr()
+            self._expect("punct", ")")
+            return inner
+        return self._condition()
+
+    def _condition(self) -> Predicate:
+        attribute = self._expect("word").text
+        token = self._next()
+        if token.kind == "op":
+            op = "==" if token.text == "=" else token.text
+            value = self._literal()
+            return {
+                "==": Q.eq, "!=": Q.ne, "<": Q.lt, "<=": Q.le,
+                ">": Q.gt, ">=": Q.ge,
+            }[op](attribute, value)
+        if token.kind == "keyword" and token.text == "between":
+            lo = self._literal()
+            self._expect("keyword", "and")
+            hi = self._literal()
+            return Q.between(attribute, lo, hi)
+        if token.kind == "keyword" and token.text == "contains":
+            terms = [str(self._literal())]
+            while self._accept("punct", ","):
+                terms.append(str(self._literal()))
+            return Q.contains(attribute, *terms)
+        if token.kind == "keyword" and token.text == "like":
+            return Q.like(attribute, str(self._literal()))
+        if token.kind == "keyword" and token.text == "is":
+            self._expect("keyword", "null")
+            return Q.is_null(attribute)
+        raise QueryError(
+            f"expected an operator after {attribute!r} at offset "
+            f"{token.position}, got {token.text!r}"
+        )
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind == "string":
+            body = token.text[1:-1]
+            return re.sub(r"\\(.)", r"\1", body)
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return token.text == "true"
+        raise QueryError(
+            f"expected a literal at offset {token.position}, got {token.text!r}"
+        )
+
+
+def parse_query(text: str) -> Tuple[str, Predicate]:
+    """Parse ``select <Class> [where <expr>]`` into (class, predicate)."""
+    return _Parser(tokenize(text), text).parse()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse just a where-expression (no ``select`` clause)."""
+    parser = _Parser(tokenize(text), text)
+    predicate = parser._expr()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise QueryError(
+            f"unexpected {trailing.text!r} at offset {trailing.position}"
+        )
+    return predicate

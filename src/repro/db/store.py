@@ -1,0 +1,177 @@
+"""Durable object store: redo-only write-ahead log + snapshot checkpoints.
+
+Commit protocol: a transaction's operations are appended to the WAL (with
+length prefix and CRC) and flushed *before* being applied to the
+in-memory object table — redo-only logging, so recovery is a pure replay
+of committed work.  ``checkpoint()`` pickles the full table to a snapshot
+file and truncates the log.  Recovery loads the snapshot then replays the
+WAL, stopping cleanly at a torn tail (simulated crash mid-append).
+
+The store is representation-agnostic: attribute values (including media
+values with numpy payloads) are pickled.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.db.objects import DBObject, OID
+from repro.errors import DatabaseError, ObjectNotFoundError
+
+# op kinds
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+
+Op = Tuple[str, Any]  # (kind, DBObject | OID)
+
+_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+
+class ObjectStore:
+    """In-memory object table with optional WAL-backed durability."""
+
+    SNAPSHOT_NAME = "snapshot.pickle"
+    WAL_NAME = "wal.log"
+
+    def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
+        self._objects: Dict[OID, DBObject] = {}
+        self._serials: Dict[str, int] = {}
+        self._directory: Optional[Path] = Path(directory) if directory else None
+        self._wal_file = None
+        self.recovered_records = 0
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._wal_file = open(self._wal_path, "ab")
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def _snapshot_path(self) -> Path:
+        return self._directory / self.SNAPSHOT_NAME
+
+    @property
+    def _wal_path(self) -> Path:
+        return self._directory / self.WAL_NAME
+
+    @property
+    def durable(self) -> bool:
+        return self._directory is not None
+
+    # -- object table ----------------------------------------------------
+    def next_oid(self, class_name: str) -> OID:
+        serial = self._serials.get(class_name, 0) + 1
+        self._serials[class_name] = serial
+        return OID(class_name, serial)
+
+    def exists(self, oid: OID) -> bool:
+        return oid in self._objects
+
+    def get(self, oid: OID) -> DBObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object {oid}") from None
+
+    def all_oids(self) -> List[OID]:
+        return sorted(self._objects)
+
+    def oids_of_class(self, class_names: Iterable[str]) -> List[OID]:
+        wanted = set(class_names)
+        return sorted(o for o in self._objects if o.class_name in wanted)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- commit path -------------------------------------------------------
+    def commit_ops(self, tx_id: int, ops: List[Op]) -> None:
+        """Log (if durable) then apply a committed transaction's ops."""
+        self._validate_ops(ops)
+        if self._wal_file is not None:
+            payload = pickle.dumps((tx_id, ops), protocol=pickle.HIGHEST_PROTOCOL)
+            record = _LEN.pack(len(payload)) + payload + _CRC.pack(zlib.crc32(payload))
+            self._wal_file.write(record)
+            self._wal_file.flush()
+            os.fsync(self._wal_file.fileno())
+        self._apply_ops(ops)
+
+    def _validate_ops(self, ops: List[Op]) -> None:
+        for kind, arg in ops:
+            if kind == OP_INSERT:
+                if arg.oid in self._objects:
+                    raise DatabaseError(f"insert of existing object {arg.oid}")
+            elif kind == OP_UPDATE:
+                if arg.oid not in self._objects:
+                    raise ObjectNotFoundError(f"update of missing object {arg.oid}")
+            elif kind == OP_DELETE:
+                if arg not in self._objects:
+                    raise ObjectNotFoundError(f"delete of missing object {arg}")
+            else:
+                raise DatabaseError(f"unknown op kind {kind!r}")
+
+    def _apply_ops(self, ops: List[Op]) -> None:
+        for kind, arg in ops:
+            if kind == OP_INSERT:
+                self._objects[arg.oid] = arg
+                serial = self._serials.get(arg.oid.class_name, 0)
+                self._serials[arg.oid.class_name] = max(serial, arg.oid.serial)
+            elif kind == OP_UPDATE:
+                self._objects[arg.oid] = arg
+            elif kind == OP_DELETE:
+                del self._objects[arg]
+
+    # -- durability ----------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Write a snapshot and truncate the WAL."""
+        if self._directory is None:
+            raise DatabaseError("checkpoint requires a durable store")
+        tmp = self._snapshot_path.with_suffix(".tmp")
+        with open(tmp, "wb") as f:
+            pickle.dump((self._objects, self._serials), f,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self._snapshot_path)
+        self._wal_file.close()
+        self._wal_file = open(self._wal_path, "wb")
+
+    def _recover(self) -> None:
+        """Load the snapshot (if any) and replay the WAL's committed tail."""
+        if self._snapshot_path.exists():
+            with open(self._snapshot_path, "rb") as f:
+                self._objects, self._serials = pickle.load(f)
+        if not self._wal_path.exists():
+            return
+        with open(self._wal_path, "rb") as f:
+            data = f.read()
+        pos = 0
+        while pos + _LEN.size <= len(data):
+            (length,) = _LEN.unpack_from(data, pos)
+            end = pos + _LEN.size + length + _CRC.size
+            if end > len(data):
+                break  # torn tail: the record never finished committing
+            payload = data[pos + _LEN.size: pos + _LEN.size + length]
+            (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+            if zlib.crc32(payload) != crc:
+                break  # corrupt tail
+            _tx_id, ops = pickle.loads(payload)
+            self._apply_ops(ops)
+            self.recovered_records += 1
+            pos = end
+
+    def close(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+
+    def __enter__(self) -> "ObjectStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

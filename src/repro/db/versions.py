@@ -1,0 +1,128 @@
+"""Version control for database objects.
+
+"Finally, version control is also considered important" (§2) — ORION's
+MIM investigated it for multimedia objects.  Every committed update adds a
+node to the object's version graph; ``derive`` creates branches (e.g. an
+edited cut of a newscast video derived from the broadcast master).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.db.objects import OID
+from repro.errors import VersionError
+
+
+@dataclass(frozen=True, slots=True)
+class VersionNode:
+    """One version of one object."""
+
+    version: int
+    parent: Optional[int]
+    note: str = ""
+
+
+class VersionGraph:
+    """The version history of a single object."""
+
+    def __init__(self, oid: OID) -> None:
+        self.oid = oid
+        self._nodes: Dict[int, VersionNode] = {1: VersionNode(1, None, "created")}
+
+    def record(self, version: int, parent: int, note: str = "") -> VersionNode:
+        """Append a version node under an existing parent."""
+        if version in self._nodes:
+            raise VersionError(f"{self.oid}: version {version} already recorded")
+        if parent not in self._nodes:
+            raise VersionError(f"{self.oid}: unknown parent version {parent}")
+        node = VersionNode(version, parent, note)
+        self._nodes[version] = node
+        return node
+
+    def node(self, version: int) -> VersionNode:
+        try:
+            return self._nodes[version]
+        except KeyError:
+            raise VersionError(f"{self.oid}: no version {version}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def lineage(self, version: int) -> List[int]:
+        """[version, parent, grandparent, ..., 1]."""
+        chain = []
+        current: Optional[int] = version
+        while current is not None:
+            chain.append(current)
+            current = self.node(current).parent
+        return chain
+
+    def children(self, version: int) -> List[int]:
+        self.node(version)
+        return sorted(v for v, n in self._nodes.items() if n.parent == version)
+
+    def is_branch_point(self, version: int) -> bool:
+        return len(self.children(version)) > 1
+
+    def heads(self) -> List[int]:
+        """Versions with no children (current tips of all branches)."""
+        with_children = {n.parent for n in self._nodes.values() if n.parent is not None}
+        return sorted(v for v in self._nodes if v not in with_children)
+
+    def latest(self) -> int:
+        return max(self._nodes)
+
+
+@dataclass
+class DerivationRecord:
+    """Cross-object derivation (branching to a new OID)."""
+
+    derived: OID
+    source: OID
+    source_version: int
+    note: str = ""
+
+
+class VersionCatalog:
+    """All version graphs plus cross-object derivations."""
+
+    def __init__(self) -> None:
+        self._graphs: Dict[OID, VersionGraph] = {}
+        self._derivations: List[DerivationRecord] = []
+
+    def graph(self, oid: OID) -> VersionGraph:
+        if oid not in self._graphs:
+            self._graphs[oid] = VersionGraph(oid)
+        return self._graphs[oid]
+
+    def record_update(self, oid: OID, new_version: int, note: str = "") -> None:
+        """Extend the linear history to ``new_version`` (backfilling gaps)."""
+        graph = self.graph(oid)
+        if new_version == 1:
+            return  # creation is implicit
+        parent = new_version - 1
+        if parent not in graph._nodes:
+            # Catch-up for recovered objects whose history predates us.
+            for v in range(2, parent + 1):
+                if v not in graph._nodes:
+                    graph.record(v, v - 1, "(recovered)")
+        graph.record(new_version, parent, note)
+
+    def record_derivation(self, derived: OID, source: OID,
+                          source_version: int, note: str = "") -> DerivationRecord:
+        if derived == source:
+            raise VersionError("an object cannot derive from itself")
+        record = DerivationRecord(derived, source, source_version, note)
+        self._derivations.append(record)
+        return record
+
+    def derivations_of(self, source: OID) -> List[DerivationRecord]:
+        return [d for d in self._derivations if d.source == source]
+
+    def derived_from(self, derived: OID) -> Optional[DerivationRecord]:
+        for record in self._derivations:
+            if record.derived == derived:
+                return record
+        return None

@@ -1,0 +1,31 @@
+"""Non-linear editing (paper §3.3).
+
+"consider an application which combines two (or more) video values.  Such
+'video mixing' is commonly used during video editing. ... interactivity
+(which is the main advantage of 'non-linear' digital video editing as
+opposed to video tape editing)."
+
+* :func:`clip_range` / :func:`cut` — frame-accurate sub-clips sharing
+  storage where the representation permits;
+* :class:`EditDecisionList` — an ordered list of segments rendered into
+  a new value (splice);
+* :class:`Editor` — the interactive-editing facade whose ``mix`` goes
+  through placement admission: same-device mixes trigger the copy
+  fallback (benchmark C1) unless the caller opted into strict placement.
+"""
+
+from repro.editing.edl import EditDecisionList, Segment
+from repro.editing.ops import clip_range, cut, dissolve, overlay_mix, splice
+from repro.editing.editor import Editor, MixOutcome
+
+__all__ = [
+    "clip_range",
+    "cut",
+    "splice",
+    "overlay_mix",
+    "dissolve",
+    "EditDecisionList",
+    "Segment",
+    "Editor",
+    "MixOutcome",
+]

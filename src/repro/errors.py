@@ -1,0 +1,118 @@
+"""Exception hierarchy shared by all subsystems.
+
+Every error raised by the library derives from :class:`AVDBError`, so
+applications can catch one base class at the database/application boundary.
+The sub-hierarchies mirror the paper's subsystem split: data model errors,
+activity (flow composition) errors, resource errors, storage errors and
+database errors.
+"""
+
+from __future__ import annotations
+
+
+class AVDBError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataModelError(AVDBError):
+    """Violation of the AV data model (values, types, quality factors)."""
+
+
+class MediaTypeError(DataModelError):
+    """Operation applied to an incompatible media data type."""
+
+
+class QualityError(DataModelError):
+    """Malformed or unsatisfiable quality factor."""
+
+
+class TemporalError(DataModelError):
+    """Invalid temporal coordinate, interval or composition."""
+
+
+class ActivityError(AVDBError):
+    """Violation of the activity model (flow composition)."""
+
+
+class PortError(ActivityError):
+    """Unknown port, port direction mismatch or port type mismatch."""
+
+
+class ConnectionError_(ActivityError):
+    """Illegal connection between activity ports."""
+
+
+class ActivityStateError(ActivityError):
+    """Operation invalid for the activity's current state."""
+
+
+class GraphError(ActivityError):
+    """Structural error in an activity graph (cycles, dangling ports)."""
+
+
+class ResourceError(AVDBError):
+    """Resource pre-allocation failed (paper section 3.3, scheduling)."""
+
+
+class AdmissionError(ResourceError):
+    """Admission control rejected a stream (bandwidth or device)."""
+
+
+class DeviceBusyError(ResourceError):
+    """A non-shareable device is already allocated to another client."""
+
+
+class StorageError(AVDBError):
+    """Error in the simulated storage subsystem."""
+
+
+class PlacementError(StorageError):
+    """Data placement constraint violated (paper section 3.3)."""
+
+
+class OutOfSpaceError(StorageError):
+    """Device has no free extent large enough for an allocation."""
+
+
+class DatabaseError(AVDBError):
+    """Error in the object database substrate."""
+
+
+class SchemaError(DatabaseError):
+    """Class definition or attribute access violates the schema."""
+
+
+class QueryError(DatabaseError):
+    """Malformed query or predicate."""
+
+
+class TransactionError(DatabaseError):
+    """Transaction used after commit/abort, or commit failed."""
+
+
+class LockTimeoutError(TransactionError):
+    """Lock request could not be granted (conflict or deadlock victim)."""
+
+
+class ObjectNotFoundError(DatabaseError):
+    """No object with the requested OID exists."""
+
+
+class VersionError(DatabaseError):
+    """Invalid version-graph operation."""
+
+
+class CodecError(AVDBError):
+    """Encoding or decoding failure."""
+
+
+class SimulationError(AVDBError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class SessionError(AVDBError):
+    """Client session misuse (e.g. using a closed session)."""
+
+
+class RenderError(AVDBError):
+    """Error in the 3D rendering substrate."""

@@ -1,0 +1,14 @@
+"""Hypermedia layer for the corporate AV database (Scenario I).
+
+"The video material is accessible through a hypermedia interface which
+links, for example, the documents describing a project to the video of a
+presentation by the project leader."
+
+Links are first-class database objects: anchors in a source object point
+at a target object (optionally a media attribute and a cue position), so
+following a link can drop straight into playback at the right moment.
+"""
+
+from repro.hypermedia.links import Anchor, HypermediaBase, Link
+
+__all__ = ["HypermediaBase", "Link", "Anchor"]

@@ -1,0 +1,13 @@
+"""Network substrate: channels with bandwidth reservation (DESIGN.md §2).
+
+Stands in for the paper's "high-bandwidth networks and protocols
+facilitating real-time transfer of digital audio and video (e.g.,
+broadband ISDN and ATM)".  Streams crossing the database/application
+boundary reserve bandwidth at connection time — the §4.3 semantics where
+"this statement would fail if insufficient network bandwidth were
+available" — and traffic accounting feeds the Fig. 4 comparison.
+"""
+
+from repro.net.channel import Channel, Reservation
+
+__all__ = ["Channel", "Reservation"]

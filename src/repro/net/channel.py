@@ -1,0 +1,139 @@
+"""Simulated network channels.
+
+A :class:`Channel` has a total bandwidth capacity and a propagation
+latency.  Streams take :class:`Reservation` objects (admission control:
+reserving beyond capacity raises
+:class:`~repro.errors.AdmissionError` — the paper's connection-time
+failure).  Each element transmission takes ``latency + bits/reserved_bps``
+virtual seconds and is charged to the channel's traffic accounting, which
+the Fig. 4 benchmark reads back as network bytes per configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator
+
+from repro.errors import AdmissionError
+from repro.sim import Delay, Simulator
+
+_reservation_ids = itertools.count(1)
+
+
+class Reservation:
+    """A bandwidth slice of a channel, held by one stream."""
+
+    def __init__(self, channel: "Channel", bps: float, label: str) -> None:
+        self.channel = channel
+        self.bps = bps
+        self.label = label
+        self.id = next(_reservation_ids)
+        self.bits_transmitted = 0
+        self.released = False
+
+    def transmit(self, bits: int) -> Generator:
+        """DES subroutine: occupy the reservation for the transfer time."""
+        if self.released:
+            raise AdmissionError(
+                f"reservation {self.label!r} on {self.channel.name!r} was released"
+            )
+        duration = self.channel.latency_s + bits / self.bps
+        if duration > 0:
+            yield Delay(duration)
+        self.bits_transmitted += bits
+        self.channel._account(bits)
+
+    def serialize(self, bits: int) -> Generator:
+        """DES subroutine: occupy the sender for serialization time only.
+
+        Propagation latency is *not* charged here — a pipelined sender puts
+        the next element on the wire as soon as the previous one has been
+        clocked out; delivery happens ``latency_s`` later (the connection
+        layer schedules it).
+        """
+        if self.released:
+            raise AdmissionError(
+                f"reservation {self.label!r} on {self.channel.name!r} was released"
+            )
+        duration = bits / self.bps
+        if duration > 0:
+            yield Delay(duration)
+        self.bits_transmitted += bits
+        self.channel._account(bits)
+
+    @property
+    def latency_s(self) -> float:
+        return self.channel.latency_s
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.channel._release(self)
+
+    def __repr__(self) -> str:
+        return f"Reservation({self.label!r}, {self.bps:g} b/s on {self.channel.name!r})"
+
+
+class Channel:
+    """A network link with finite capacity and admission control."""
+
+    def __init__(self, simulator: Simulator, capacity_bps: float,
+                 latency_s: float = 0.0, name: str = "channel") -> None:
+        if capacity_bps <= 0:
+            raise AdmissionError(f"channel capacity must be positive, got {capacity_bps}")
+        if latency_s < 0:
+            raise AdmissionError(f"channel latency must be >= 0, got {latency_s}")
+        self.simulator = simulator
+        self.capacity_bps = capacity_bps
+        self.latency_s = latency_s
+        self.name = name
+        self._reservations: Dict[int, Reservation] = {}
+        self.total_bits = 0
+        self.admission_failures = 0
+
+    # -- admission control ---------------------------------------------------
+    @property
+    def reserved_bps(self) -> float:
+        return sum(r.bps for r in self._reservations.values())
+
+    @property
+    def available_bps(self) -> float:
+        return self.capacity_bps - self.reserved_bps
+
+    def reserve(self, bps: float, label: str = "stream") -> Reservation:
+        """Admit a stream at ``bps``; raises AdmissionError when over capacity."""
+        if bps <= 0:
+            raise AdmissionError(f"cannot reserve non-positive bandwidth {bps}")
+        if bps > self.available_bps + 1e-9:
+            self.admission_failures += 1
+            raise AdmissionError(
+                f"channel {self.name!r}: cannot reserve {bps:g} b/s "
+                f"({self.available_bps:g} of {self.capacity_bps:g} available)"
+            )
+        reservation = Reservation(self, bps, label)
+        self._reservations[reservation.id] = reservation
+        return reservation
+
+    def _release(self, reservation: Reservation) -> None:
+        self._reservations.pop(reservation.id, None)
+
+    def _account(self, bits: int) -> None:
+        self.total_bits += bits
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    def mean_throughput_bps(self) -> float:
+        """Average delivered rate since time 0."""
+        now = self.simulator.now.seconds
+        if now <= 0:
+            return 0.0
+        return self.total_bits / now
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, {self.reserved_bps:g}/{self.capacity_bps:g} b/s "
+            f"reserved, {len(self._reservations)} streams)"
+        )

@@ -1,0 +1,36 @@
+"""Quality factors and representation negotiation (paper §3.3, §4.1).
+
+"Applications should specify data representation indirectly, in terms of
+AV 'quality factors.' ... A video quality factor is an expression of the
+form ``w x h x d @ r`` ... An audio quality factor is a description such
+as voice-quality, FM-quality, or CD-quality. ... What is important is that
+an AV database system, given a quality factor, be capable of determining a
+data representation (if more than one possibility exists), the appropriate
+encoding parameters, and storage and processing requirements."
+"""
+
+from repro.quality.factors import (
+    AUDIO_QUALITIES,
+    AudioQuality,
+    QualityFactor,
+    VideoQuality,
+    parse_quality,
+)
+from repro.quality.negotiate import (
+    Negotiator,
+    Representation,
+    RepresentationPlan,
+    scale_video_quality,
+)
+
+__all__ = [
+    "QualityFactor",
+    "VideoQuality",
+    "AudioQuality",
+    "AUDIO_QUALITIES",
+    "parse_quality",
+    "Negotiator",
+    "Representation",
+    "RepresentationPlan",
+    "scale_video_quality",
+]

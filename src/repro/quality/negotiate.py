@@ -1,0 +1,177 @@
+"""Representation negotiation: quality factor → representation plan.
+
+The paper requires that "an AV database system, given a quality factor, be
+capable of determining a data representation (if more than one possibility
+exists), the appropriate encoding parameters, and storage and processing
+requirements."  :class:`Negotiator` implements that determination over the
+codecs this build provides, and :func:`scale_video_quality` implements the
+scalable-video degradation path ("a video value encoded at one quality can
+be viewed at a lower quality by ignoring some of the encoded data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import QualityError
+from repro.quality.factors import AudioQuality, QualityFactor, VideoQuality
+
+
+@dataclass(frozen=True, slots=True)
+class Representation:
+    """A concrete (media type, codec, parameters) choice."""
+
+    media_type_name: str
+    codec_name: str
+    params: tuple  # codec-specific, hashable (e.g. (("q", 4),))
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True, slots=True)
+class RepresentationPlan:
+    """What serving a quality factor costs.
+
+    Attributes
+    ----------
+    representation:
+        The chosen representation.
+    storage_bps:
+        Expected stored bits per second of media (after compression).
+    bandwidth_bps:
+        Network bandwidth a stream of this representation needs.
+    decode_cost:
+        Relative per-element decode cost (1.0 = raw copy), used for
+        processing-requirement estimates by the resource manager.
+    """
+
+    representation: Representation
+    storage_bps: float
+    bandwidth_bps: float
+    decode_cost: float
+
+
+# Typical compression ratios and decode costs of the toy codecs, measured
+# on the calibration corpus in tests/test_codecs.py.
+_VIDEO_CHOICES: List[tuple[str, str, float, float]] = [
+    # (media type, codec, compression ratio, decode cost)
+    ("video/mpeg", "mpeg", 12.0, 3.0),
+    ("video/jpeg", "jpeg", 8.0, 2.0),
+    ("video/dvi", "dvi", 6.0, 1.5),
+    ("video/rle", "rle", 2.0, 1.2),
+    ("video/raw", "raw", 1.0, 1.0),
+]
+
+_AUDIO_CHOICES: Dict[str, tuple[str, str, float, float]] = {
+    "voice": ("audio/mulaw", "mulaw", 2.0, 1.2),
+    "fm": ("audio/adpcm", "adpcm", 4.0, 1.5),
+    "cd": ("audio/cd", "pcm", 1.0, 1.0),
+}
+
+
+class Negotiator:
+    """Chooses representations subject to a bandwidth budget.
+
+    Parameters
+    ----------
+    prefer_compressed:
+        When True (default) pick the strongest codec whose decode cost is
+        acceptable; when False prefer raw unless the bandwidth budget
+        forces compression.
+    """
+
+    def __init__(self, prefer_compressed: bool = True) -> None:
+        self.prefer_compressed = prefer_compressed
+
+    def plan(self, quality: QualityFactor,
+             bandwidth_budget_bps: Optional[float] = None) -> RepresentationPlan:
+        """Determine a representation for ``quality``.
+
+        Raises :class:`QualityError` if no representation fits the budget.
+        """
+        if isinstance(quality, VideoQuality):
+            return self._plan_video(quality, bandwidth_budget_bps)
+        if isinstance(quality, AudioQuality):
+            return self._plan_audio(quality, bandwidth_budget_bps)
+        raise QualityError(f"unsupported quality factor {quality!r}")
+
+    def _plan_video(self, quality: VideoQuality,
+                    budget: Optional[float]) -> RepresentationPlan:
+        raw_bps = quality.raw_bps
+        choices = _VIDEO_CHOICES if self.prefer_compressed else list(reversed(_VIDEO_CHOICES))
+        feasible = []
+        for type_name, codec, ratio, cost in choices:
+            bps = raw_bps / ratio
+            if budget is not None and bps > budget:
+                continue
+            feasible.append((type_name, codec, ratio, cost, bps))
+        if not feasible:
+            raise QualityError(
+                f"no video representation for {quality} fits bandwidth budget "
+                f"{budget:g} b/s (raw would need {raw_bps:g})"
+            )
+        type_name, codec, ratio, cost, bps = feasible[0]
+        params = (("width", quality.width), ("height", quality.height),
+                  ("depth", quality.depth), ("rate", quality.rate))
+        return RepresentationPlan(
+            Representation(type_name, codec, params),
+            storage_bps=bps, bandwidth_bps=bps, decode_cost=cost,
+        )
+
+    def _plan_audio(self, quality: AudioQuality,
+                    budget: Optional[float]) -> RepresentationPlan:
+        try:
+            type_name, codec, ratio, cost = _AUDIO_CHOICES[quality.name]
+        except KeyError:
+            raise QualityError(f"no representation table for audio quality {quality.name!r}") from None
+        bps = quality.raw_bps / ratio
+        if budget is not None and bps > budget:
+            raise QualityError(
+                f"audio quality {quality} needs {bps:g} b/s, budget is {budget:g}"
+            )
+        params = (("sample_rate", quality.sample_rate), ("depth", quality.depth),
+                  ("channels", quality.channels))
+        return RepresentationPlan(
+            Representation(type_name, codec, params),
+            storage_bps=bps, bandwidth_bps=bps, decode_cost=cost,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class VideoScalePlan:
+    """How to degrade a stored quality to a requested one.
+
+    ``frame_keep_every`` = n means keep every n-th frame (temporal
+    scaling); ``spatial_divisor`` = k means subsample pixels by k in each
+    dimension.  Both are achieved by *ignoring* encoded data, matching the
+    scalable-video notion.
+    """
+
+    frame_keep_every: int
+    spatial_divisor: int
+    delivered: VideoQuality
+
+
+def scale_video_quality(stored: VideoQuality, requested: VideoQuality) -> VideoScalePlan:
+    """Plan a scalable-video degradation from ``stored`` to ``requested``.
+
+    The delivered quality is the best quality <= ``requested`` reachable
+    by integer frame dropping and integer spatial subsampling of
+    ``stored``.  Requesting *higher* than stored is allowed — the paper
+    notes upscaling "does not add information" — and simply delivers the
+    stored quality unchanged (divisors of 1).
+    """
+    if requested.dominates(stored):
+        return VideoScalePlan(1, 1, stored)
+    keep = max(1, round(stored.rate / requested.rate))
+    divisor = max(1, min(stored.width // requested.width,
+                         stored.height // requested.height))
+    delivered = VideoQuality(
+        width=stored.width // divisor,
+        height=stored.height // divisor,
+        depth=min(stored.depth, requested.depth),
+        rate=stored.rate / keep,
+    )
+    return VideoScalePlan(keep, divisor, delivered)

@@ -1,0 +1,103 @@
+"""Software perspective rasterizer.
+
+A small but real 3D pipeline: camera-space transform, near-plane culling,
+perspective projection, painter's-algorithm depth ordering, barycentric
+triangle fill, and affine texture sampling for the video wall.  It stands
+in for the "3D graphics hardware" of Fig. 4; its per-frame cost is what
+makes database-side vs client-side rendering a genuine resource trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.render.camera import CameraPose
+from repro.render.scene import Scene, Surface
+
+
+class Rasterizer:
+    """Renders a scene from a camera pose into a grayscale uint8 frame."""
+
+    def __init__(self, width: int = 160, height: int = 120,
+                 fov_degrees: float = 70.0, near: float = 0.1) -> None:
+        if width <= 0 or height <= 0:
+            raise RenderError(f"frame geometry must be positive, got {width}x{height}")
+        if not 10.0 <= fov_degrees <= 170.0:
+            raise RenderError(f"field of view must be in [10, 170], got {fov_degrees}")
+        self.width = width
+        self.height = height
+        self.near = near
+        self.focal = (width / 2) / math.tan(math.radians(fov_degrees) / 2)
+
+    # -- pipeline stages ----------------------------------------------------
+    def _to_camera(self, pose: CameraPose, points: np.ndarray) -> np.ndarray:
+        right, up, forward = pose.basis()
+        relative = points - pose.position
+        return np.stack([relative @ right, relative @ up, relative @ forward], axis=1)
+
+    def _project(self, camera_points: np.ndarray) -> np.ndarray:
+        """Camera space -> pixel coordinates (x right, y down)."""
+        z = camera_points[:, 2]
+        x = self.width / 2 + self.focal * camera_points[:, 0] / z
+        y = self.height / 2 - self.focal * camera_points[:, 1] / z
+        return np.stack([x, y], axis=1)
+
+    def render(self, scene: Scene, pose: CameraPose,
+               texture: Optional[np.ndarray] = None) -> np.ndarray:
+        """Render one frame; ``texture`` fills the scene's textured surfaces."""
+        frame = np.full((self.height, self.width), scene.background, dtype=np.uint8)
+        # Painter's algorithm: farthest centroid first.
+        order = sorted(
+            scene.surfaces,
+            key=lambda s: -float(
+                self._to_camera(pose, s.centroid()[np.newaxis, :])[0, 2]
+            ),
+        )
+        for surface in order:
+            cam = self._to_camera(pose, surface.vertices)
+            if (cam[:, 2] <= self.near).any():
+                continue  # behind or straddling the near plane: cull
+            pixels = self._project(cam)
+            self._fill(frame, pixels, surface, texture)
+        return frame
+
+    def _fill(self, frame: np.ndarray, pixels: np.ndarray, surface: Surface,
+              texture: Optional[np.ndarray]) -> None:
+        min_x = max(0, int(np.floor(pixels[:, 0].min())))
+        max_x = min(self.width - 1, int(np.ceil(pixels[:, 0].max())))
+        min_y = max(0, int(np.floor(pixels[:, 1].min())))
+        max_y = min(self.height - 1, int(np.ceil(pixels[:, 1].max())))
+        if min_x > max_x or min_y > max_y:
+            return  # fully off-screen
+        xs = np.arange(min_x, max_x + 1)
+        ys = np.arange(min_y, max_y + 1)
+        gx, gy = np.meshgrid(xs, ys)
+        a, b, c = pixels[0], pixels[1], pixels[2]
+        det = (b[1] - c[1]) * (a[0] - c[0]) + (c[0] - b[0]) * (a[1] - c[1])
+        if abs(det) < 1e-12:
+            return  # degenerate (edge-on) triangle
+        w0 = ((b[1] - c[1]) * (gx - c[0]) + (c[0] - b[0]) * (gy - c[1])) / det
+        w1 = ((c[1] - a[1]) * (gx - c[0]) + (a[0] - c[0]) * (gy - c[1])) / det
+        w2 = 1.0 - w0 - w1
+        inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+        if not inside.any():
+            return
+        if surface.textured and texture is not None:
+            tex = texture if texture.ndim == 2 else texture.mean(axis=2).astype(np.uint8)
+            th, tw = tex.shape
+            u = (w0 * surface.uv[0, 0] + w1 * surface.uv[1, 0] + w2 * surface.uv[2, 0])
+            v = (w0 * surface.uv[0, 1] + w1 * surface.uv[1, 1] + w2 * surface.uv[2, 1])
+            tx = np.clip((u * (tw - 1)).astype(int), 0, tw - 1)
+            ty = np.clip((v * (th - 1)).astype(int), 0, th - 1)
+            values = tex[ty, tx]
+            region = frame[min_y:max_y + 1, min_x:max_x + 1]
+            region[inside] = values[inside]
+        else:
+            frame[min_y:max_y + 1, min_x:max_x + 1][inside] = surface.shade
+
+    def frame_bits(self) -> int:
+        return self.width * self.height * 8

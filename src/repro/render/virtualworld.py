@@ -1,0 +1,143 @@
+"""The two Fig. 4 configurations.
+
+"Depending upon the capabilities and resources of the database system and
+the client, rendering may be done by the database or locally by the
+client.  For example, a client with 3D graphics hardware may simply
+request the video stream from the database and render it locally ...
+(top of Fig. 4).  While a client without such hardware could request that
+rendering occur at the database site (bottom of Fig. 4)."
+
+Both builders run the complete stack — database, placement, session,
+channel — and report the traffic accounting the Fig. 4 benchmark
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.activities import Location
+from repro.avdb.system import AVDatabaseSystem
+from repro.render.activities import MoveSource, RenderActivity
+from repro.render.camera import CameraPath
+from repro.render.rasterizer import Rasterizer
+from repro.render.scene import Scene, museum_room
+from repro.storage.devices import MagneticDisk
+from repro.values.base import MediaValue
+
+
+@dataclass
+class VirtualWorldResult:
+    """What one walkthrough run produced and cost."""
+
+    configuration: str
+    frames_presented: int
+    network_bits: int
+    duration_s: float
+    frames: List  # the presented raster frames
+    render_location: str
+
+    @property
+    def network_bytes_per_frame(self) -> float:
+        if not self.frames_presented:
+            return 0.0
+        return self.network_bits / 8 / self.frames_presented
+
+
+def _make_system(video: MediaValue) -> AVDatabaseSystem:
+    system = AVDatabaseSystem()
+    system.add_storage(MagneticDisk(system.simulator, "disk0"))
+    system.store_value(video, "disk0")
+    return system
+
+
+def client_side_rendering(video: MediaValue, path: CameraPath,
+                          scene: Optional[Scene] = None,
+                          rasterizer: Optional[Rasterizer] = None,
+                          channel_bps: float = 100_000_000.0,
+                          render_seconds: float = 0.0) -> VirtualWorldResult:
+    """Fig. 4 top: the client has 3D hardware and renders locally.
+
+    Only the (stored, possibly compressed) video stream crosses the
+    network; the pose stream never leaves the client.
+    """
+    system = _make_system(video)
+    session = system.open_session("vw-client", channel_bps=channel_bps)
+    # The fat client pulls the *stored* representation (compressed values
+    # stay compressed on the wire) and decodes locally.
+    db_video = session.new_db_source(video, deliver="stored")
+    move = session.new_activity(MoveSource(system.simulator, name="move",
+                                           location=Location.APPLICATION))
+    move.bind(path)
+    render = session.new_activity(RenderActivity(
+        system.simulator, scene or museum_room(), rasterizer,
+        name="render", location=Location.APPLICATION,
+        render_seconds=render_seconds,
+    ))
+    window = session.new_video_window(name="vw-window")
+    from repro.values.video import EncodedVideoValue
+    if isinstance(video, EncodedVideoValue):
+        from repro.activities.library import VideoDecoder
+        decoder = session.new_activity(VideoDecoder(
+            system.simulator, video.codec, video.width, video.height,
+            video.depth, name="client-decode", location=Location.APPLICATION,
+        ))
+        video_stream = session.connect(db_video, decoder.port("video_in"))
+        feed = session.connect(decoder.port("video_out"), render.port("video_in"))
+    else:
+        video_stream = session.connect(db_video, render.port("video_in"))
+        feed = None
+    pose_stream = session.connect(move, render.port("pose_in"))
+    display = session.connect(render.port("video_out"), window)
+    for stream in (video_stream, pose_stream, display, *([feed] if feed else [])):
+        stream.start()
+    end = session.run()
+    return VirtualWorldResult(
+        configuration="client-side rendering (Fig. 4 top)",
+        frames_presented=len(window.presented),
+        network_bits=session.channel.total_bits,
+        duration_s=end.seconds,
+        frames=window.presented,
+        render_location="client",
+    )
+
+
+def database_side_rendering(video: MediaValue, path: CameraPath,
+                            scene: Optional[Scene] = None,
+                            rasterizer: Optional[Rasterizer] = None,
+                            channel_bps: float = 100_000_000.0,
+                            render_seconds: float = 0.0) -> VirtualWorldResult:
+    """Fig. 4 bottom: the database renders; the client is a thin viewer.
+
+    The pose stream crosses the network upstream; the rendered raster
+    stream crosses downstream.  The video value never leaves the database.
+    """
+    system = _make_system(video)
+    session = system.open_session("vw-thin-client", channel_bps=channel_bps)
+    db_video = system.make_source(video, deliver="raw", name="db-video")
+    move = session.new_activity(MoveSource(system.simulator, name="move",
+                                           location=Location.APPLICATION))
+    move.bind(path)
+    render = session.new_activity(RenderActivity(
+        system.simulator, scene or museum_room(), rasterizer,
+        name="db-render", location=Location.DATABASE,
+        render_seconds=render_seconds,
+    ))
+    window = session.new_video_window(name="vw-window")
+    session._activities.append(db_video)
+    video_stream = session.connect(db_video, render.port("video_in"))
+    pose_stream = session.connect(move, render.port("pose_in"),
+                                  bandwidth_bps=64_000.0)
+    display = session.connect(render.port("video_out"), window)
+    for stream in (video_stream, pose_stream, display):
+        stream.start()
+    end = session.run()
+    return VirtualWorldResult(
+        configuration="database-side rendering (Fig. 4 bottom)",
+        frames_presented=len(window.presented),
+        network_bits=session.channel.total_bits,
+        duration_s=end.seconds,
+        frames=window.presented,
+        render_location="database",
+    )

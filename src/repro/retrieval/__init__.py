@@ -1,0 +1,33 @@
+"""Content-based retrieval for images and video (paper §2).
+
+The paper surveys REDI's Query-by-Pictorial-Example: "image structures
+and features are extracted from images and stored in a relational
+database, while the original images are kept in a different image store.
+The query interface (Query-by-Pictorial-Example) first tries to answer a
+query using the extracted information to avoid retrieval and processing
+of the originals."  It also lists content-based retrieval — "problematic
+for image and audio, but at least discussed in several lists of
+requirements" — among the functions an AV database should offer.
+
+This package implements that design for the AV database:
+
+* :func:`frame_features` — compact luminance-histogram + moment features
+  extracted per frame;
+* :class:`FeatureIndex` — extracted features stored *separately from the
+  originals* (REDI's split), searched first;
+* :class:`SimilarityRetrieval` — query-by-example over stored video
+  values: rank clips by feature distance to an example frame or clip,
+  touching original media only for the returned references.
+"""
+
+from repro.retrieval.features import FeatureVector, clip_features, frame_features
+from repro.retrieval.qbe import FeatureIndex, Match, SimilarityRetrieval
+
+__all__ = [
+    "FeatureVector",
+    "frame_features",
+    "clip_features",
+    "FeatureIndex",
+    "SimilarityRetrieval",
+    "Match",
+]

@@ -1,0 +1,99 @@
+"""Frame feature extraction.
+
+Features are deliberately 1990-simple (REDI-era): a 16-bin normalized
+luminance histogram plus mean/variance/edge-energy moments.  They are
+compact (20 floats), cheap to extract, invariant to frame size, and good
+enough to separate synthetic scenes — which is what similarity retrieval
+needs from its feature substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DataModelError
+from repro.values.video import VideoValue
+
+HISTOGRAM_BINS = 16
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Compact per-frame (or per-clip average) feature description."""
+
+    histogram: Tuple[float, ...]  # 16 normalized luminance bins
+    mean: float                   # mean luminance, [0, 1]
+    variance: float               # luminance variance, [0, 1]
+    edge_energy: float            # mean absolute gradient, [0, 1]
+
+    def __post_init__(self) -> None:
+        if len(self.histogram) != HISTOGRAM_BINS:
+            raise DataModelError(
+                f"feature histogram needs {HISTOGRAM_BINS} bins, "
+                f"got {len(self.histogram)}"
+            )
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            list(self.histogram) + [self.mean, self.variance, self.edge_energy]
+        )
+
+    def distance(self, other: "FeatureVector") -> float:
+        """L1 histogram distance plus weighted moment differences.
+
+        0.0 for identical features; ~2.0+ for maximally different frames.
+        """
+        a, b = np.array(self.histogram), np.array(other.histogram)
+        histogram_term = float(np.abs(a - b).sum())
+        moment_term = (
+            abs(self.mean - other.mean)
+            + abs(self.variance - other.variance)
+            + abs(self.edge_energy - other.edge_energy)
+        )
+        return histogram_term + moment_term
+
+
+def _luminance(frame: np.ndarray) -> np.ndarray:
+    if frame.ndim == 3:
+        return frame.mean(axis=2)
+    return frame.astype(np.float64)
+
+
+def frame_features(frame: np.ndarray) -> FeatureVector:
+    """Extract features from one frame array."""
+    luma = _luminance(np.asarray(frame))
+    if luma.size == 0:
+        raise DataModelError("cannot extract features from an empty frame")
+    histogram, _ = np.histogram(luma, bins=HISTOGRAM_BINS, range=(0, 256))
+    normalized = histogram / luma.size
+    gx = np.abs(np.diff(luma, axis=1)).mean() if luma.shape[1] > 1 else 0.0
+    gy = np.abs(np.diff(luma, axis=0)).mean() if luma.shape[0] > 1 else 0.0
+    return FeatureVector(
+        histogram=tuple(float(x) for x in normalized),
+        mean=float(luma.mean() / 255.0),
+        variance=float(luma.var() / (255.0 ** 2)),
+        edge_energy=float((gx + gy) / (2 * 255.0)),
+    )
+
+
+def clip_features(value: VideoValue, sample_every: int = 5) -> FeatureVector:
+    """Average features over a sampled subset of a clip's frames.
+
+    Sampling every ``sample_every``-th frame keeps extraction cheap for
+    long clips (REDI's avoid-processing-the-originals goal applies at
+    ingest too).
+    """
+    if sample_every < 1:
+        raise DataModelError(f"sample interval must be >= 1, got {sample_every}")
+    indices = range(0, value.num_frames, sample_every)
+    vectors = [frame_features(value.frame(i)).as_array() for i in indices]
+    mean = np.mean(vectors, axis=0)
+    return FeatureVector(
+        histogram=tuple(float(x) for x in mean[:HISTOGRAM_BINS]),
+        mean=float(mean[HISTOGRAM_BINS]),
+        variance=float(mean[HISTOGRAM_BINS + 1]),
+        edge_energy=float(mean[HISTOGRAM_BINS + 2]),
+    )

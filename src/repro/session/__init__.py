@@ -1,0 +1,18 @@
+"""The asynchronous, stream-based client interface (paper §3.3, §4.3).
+
+"The client interface should be based on notions of multiple tasks,
+stream redirection, and asynchronous notification rather than on a simple
+issue-request / receive-reply protocol."
+
+:class:`Session` is one client's handle on an
+:class:`~repro.avdb.AVDatabaseSystem`: it issues queries (returning
+references), creates activities on either side of the database/
+application boundary, connects them (allocating network bandwidth), binds
+stored values, and starts streams that then run concurrently with the
+client's own work.  :class:`Stream` is the handle returned by connection
+requests; :class:`Notification` records asynchronously delivered events.
+"""
+
+from repro.session.session import Notification, Session, Stream
+
+__all__ = ["Session", "Stream", "Notification"]

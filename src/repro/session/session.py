@@ -1,0 +1,387 @@
+"""Client sessions: the §4.3 pseudo-code as an executable API.
+
+The paper's first example::
+
+    1 dbSource = new activity VideoSource for SimpleNewscast.videoTrack
+    2 appSink = new activity VideoWindow quality 320x240x8 @ 30
+    3 videostream = new connection from dbSource.out to appSink.in
+    4 myNews = select SimpleNewscast where (title = "60 Minutes" and ...)
+    5 bind myNews.videoTrack to dbSource
+    6 start videostream
+
+maps to::
+
+    db_source = session.new_db_video_source()                  # 1
+    app_sink = session.new_video_window("320x240x8@30")        # 2
+    stream = session.connect(db_source, app_sink)              # 3
+    my_news = session.select_one("SimpleNewscast",
+                                 Q.eq("title", "60 Minutes") & ...)  # 4
+    session.bind((my_news, "videoTrack"), db_source)           # 5
+    stream.start()                                             # 6
+
+Statements 1-3 really allocate resources — shared devices at activity
+creation, network bandwidth at connection time — and really fail when
+resources are insufficient, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.activities import (
+    ActivityState,
+    CompositeActivity,
+    Location,
+    MediaActivity,
+    MultiSink,
+)
+from repro.activities.library import Speaker, SubtitleWindow, VideoWindow
+from repro.activities.ports import Connection, Direction, Port
+from repro.avtime import WorldTime
+from repro.db.objects import DBObject, OID
+from repro.db.query import Predicate
+from repro.errors import SessionError
+from repro.net.channel import Channel
+from repro.quality.factors import AudioQuality, VideoQuality, parse_quality
+from repro.streams.sync import JitterModel
+from repro.temporal.composite import TemporalComposite
+from repro.values.base import MediaValue
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """One asynchronously delivered activity event."""
+
+    activity: str
+    event: str
+    payload: Any
+    at: WorldTime
+
+
+class Stream:
+    """Handle for a started (or startable) stream: the §4.3 objects
+    ``videostream`` / ``compositestream``."""
+
+    def __init__(self, session: "Session", connections: List[Connection],
+                 activities: List[MediaActivity]) -> None:
+        self.session = session
+        self.connections = connections
+        self.activities = activities
+        self.started = False
+
+    def start(self) -> None:
+        """Start every endpoint activity; the transfer then proceeds in
+        parallel with the client (asynchronous interface)."""
+        if self.started:
+            raise SessionError("stream already started")
+        self.started = True
+        for activity in self.activities:
+            if activity.state is not ActivityState.RUNNING:
+                activity.start()
+
+    def stop(self) -> None:
+        """'At any point the application may stop the transfer.'"""
+        for activity in self.activities:
+            if activity.state is ActivityState.RUNNING:
+                activity.stop()
+
+    @property
+    def bits_transferred(self) -> int:
+        return sum(c.bits_sent for c in self.connections)
+
+    def finished(self) -> bool:
+        return all(a.finished for a in self.activities)
+
+
+class Recording:
+    """Handle on an in-progress capture into the database."""
+
+    def __init__(self, session: "Session", stream: Stream, writer) -> None:
+        self.session = session
+        self.stream = stream
+        self.writer = writer
+
+    def start(self) -> None:
+        self.stream.start()
+
+    def stop(self) -> None:
+        self.stream.stop()
+
+    def finished(self) -> bool:
+        return self.stream.finished()
+
+    def store(self, class_name: str, attribute: str,
+              device: Optional[str] = None, **attributes: Any):
+        """Persist the captured value and catalog it as a new object."""
+        if not self.finished():
+            raise SessionError("recording still in progress; run the "
+                               "simulation to completion (or stop it) first")
+        value = self.writer.result()
+        self.session.system.store_value(value, device)
+        oid = self.session.system.db.insert(
+            class_name, **{attribute: value}, **attributes
+        )
+        return oid, value
+
+
+class Session:
+    """One client application's connection to the AV database."""
+
+    def __init__(self, system, name: str, channel: Channel) -> None:
+        self.system = system
+        self.name = name
+        self.channel = channel
+        self.notifications: List[Notification] = []
+        self._activities: List[MediaActivity] = []
+        self._leases: List = []
+        self._streams: List[Stream] = []
+        self.closed = False
+
+    # -- queries (issue-request / receive-reply is fine for these) --------
+    def select(self, class_name: str, predicate: Optional[Union[Predicate, str]] = None) -> List[OID]:
+        """Returns *references*, never the AV values themselves (§3.1).
+
+        ``predicate`` may be a :class:`Predicate` or a textual
+        where-expression, e.g. ``'title = "60 Minutes"'``.
+        """
+        self._require_open()
+        if isinstance(predicate, str):
+            from repro.db.parser import parse_predicate
+            predicate = parse_predicate(predicate)
+        return self.system.db.select(class_name, predicate)
+
+    def query(self, text: str) -> List[OID]:
+        """Full textual query: ``select <Class> where <expr>``."""
+        self._require_open()
+        return self.system.db.query(text)
+
+    def select_one(self, class_name: str, predicate: Optional[Predicate] = None) -> OID:
+        self._require_open()
+        return self.system.db.select_one(class_name, predicate)
+
+    def fetch(self, oid: OID) -> DBObject:
+        self._require_open()
+        return self.system.db.get(oid)
+
+    # -- activity creation (statements 1-2) -------------------------------
+    def new_activity(self, activity: MediaActivity,
+                     device_kind: Optional[str] = None) -> MediaActivity:
+        """Register a client-created activity with the system.
+
+        ``device_kind`` names a shared-device pool the activity needs
+        (e.g. a database-side mixer); allocation is fail-fast.
+        """
+        self._require_open()
+        if device_kind is not None:
+            self._leases.append(self.system.resources.allocate(device_kind))
+        self.system.graph.add(activity)
+        self._activities.append(activity)
+        return activity
+
+    def new_video_window(self, quality: Union[str, VideoQuality, None] = None,
+                         name: Optional[str] = None) -> VideoWindow:
+        """Statement 2: ``new activity VideoWindow quality 320x240x8@30``."""
+        if isinstance(quality, str):
+            quality = parse_quality(quality)
+        window = VideoWindow(self.system.simulator, quality=quality,
+                             name=name or f"{self.name}.window",
+                             location=Location.APPLICATION)
+        return self.new_activity(window)
+
+    def new_speaker(self, quality: Union[str, AudioQuality, None] = None,
+                    name: Optional[str] = None) -> Speaker:
+        """An application-located audio sink, optionally quality-factored."""
+        if isinstance(quality, str):
+            quality = parse_quality(quality)
+        speaker = Speaker(self.system.simulator, quality=quality,
+                          name=name or f"{self.name}.speaker",
+                          location=Location.APPLICATION)
+        return self.new_activity(speaker)
+
+    def new_subtitle_window(self, name: Optional[str] = None) -> SubtitleWindow:
+        window = SubtitleWindow(self.system.simulator,
+                                name=name or f"{self.name}.subtitles",
+                                location=Location.APPLICATION)
+        return self.new_activity(window)
+
+    def new_multi_sink(self, name: Optional[str] = None) -> MultiSink:
+        sink = MultiSink(self.system.simulator,
+                         name=name or f"{self.name}.multisink",
+                         location=Location.APPLICATION)
+        return self.new_activity(sink)
+
+    def new_db_source(self, value_or_ref, deliver: str = "stored",
+                      jitter: Optional[JitterModel] = None,
+                      name: Optional[str] = None) -> MediaActivity:
+        """Statement 1 + 5 combined: a database-located source bound to a
+        stored value (or ``(oid, attribute)`` reference)."""
+        self._require_open()
+        value = self._resolve_value(value_or_ref)
+        if isinstance(value, TemporalComposite):
+            source = self.system.make_multisource(value, deliver=deliver, name=name)
+        else:
+            source = self.system.make_source(value, deliver=deliver,
+                                             name=name, jitter=jitter)
+        self._activities.append(source)
+        return source
+
+    def _resolve_value(self, value_or_ref):
+        if isinstance(value_or_ref, (MediaValue, TemporalComposite)):
+            return value_or_ref
+        if isinstance(value_or_ref, tuple) and len(value_or_ref) == 2:
+            ref, attribute = value_or_ref
+            obj = self.fetch(ref) if isinstance(ref, OID) else ref
+            path = attribute.split(".")
+            value = obj
+            for part in path:
+                value = getattr(value, part)
+            return value
+        raise SessionError(
+            f"cannot resolve {value_or_ref!r} to a media value "
+            f"(pass a value, or (oid, 'attr') / (oid, 'tcomp.track'))"
+        )
+
+    # -- binding (statement 5, when done after creation) --------------------
+    def bind(self, value_or_ref, activity: MediaActivity) -> None:
+        self._require_open()
+        activity.bind(self._resolve_value(value_or_ref))
+
+    # -- connections (statement 3) -----------------------------------------
+    def connect(self, source: Union[MediaActivity, Port],
+                sink: Union[MediaActivity, Port],
+                capacity: int = 8,
+                bandwidth_bps: Optional[float] = None) -> Stream:
+        """``new connection from <source>.out to <sink>.in``.
+
+        Crossing the database/application boundary takes a bandwidth
+        reservation on the session's channel — "this statement would fail
+        if insufficient network bandwidth were available".
+        """
+        self._require_open()
+        graph = self.system.graph
+        if isinstance(source, CompositeActivity) and isinstance(sink, CompositeActivity):
+            channel = self.channel if self._crosses_boundary(source, sink) else None
+            connections = graph.connect_composites(
+                source, sink, capacity=capacity, channel=channel
+            )
+            stream = Stream(self, connections, [source, sink])
+            self._streams.append(stream)
+            return stream
+        source_port = self._single_port(source, Direction.OUT)
+        sink_port = self._single_port(sink, Direction.IN)
+        reservation = None
+        if self._crosses_boundary(source_port.resolve().owner, sink_port.resolve().owner):
+            bps = bandwidth_bps or graph._port_bandwidth(source_port)
+            reservation = self.channel.reserve(bps, label=f"{self.name}-stream")
+        connection = graph.connect(source_port, sink_port, capacity, reservation)
+        owners = [source if isinstance(source, MediaActivity) else source_port.owner,
+                  sink if isinstance(sink, MediaActivity) else sink_port.owner]
+        stream = Stream(self, [connection], owners)
+        self._streams.append(stream)
+        return stream
+
+    @staticmethod
+    def _crosses_boundary(a: MediaActivity, b: MediaActivity) -> bool:
+        return a.location is not b.location
+
+    @staticmethod
+    def _single_port(endpoint: Union[MediaActivity, Port],
+                     direction: Direction) -> Port:
+        if isinstance(endpoint, Port):
+            return endpoint
+        ports = [p for p in endpoint.ports.values() if p.direction is direction]
+        if len(ports) != 1:
+            raise SessionError(
+                f"activity {endpoint.name!r} has {len(ports)} {direction.value} "
+                f"ports; pass the port explicitly"
+            )
+        return ports[0]
+
+    # -- recording / ingest -------------------------------------------------
+    def record(self, source: MediaActivity, codec=None,
+               geometry: Optional[Tuple[int, int, int]] = None,
+               rate: float = 30.0, name: Optional[str] = None) -> "Recording":
+        """Record a video stream into the database (Scenario I capture).
+
+        Wires ``source`` (a raw-video producer — typically a
+        :class:`~repro.activities.live.LiveCamera`, a digitizer or any
+        raw out-port activity) through an optional encoder into a
+        database-located writer.  Returns a :class:`Recording`; after the
+        stream finishes, ``recording.store(...)`` persists the captured
+        value and inserts a catalog object.
+        """
+        from repro.activities.library import VideoEncoder, VideoWriter
+        label = name or f"{self.name}.recording"
+        writer = VideoWriter(self.system.simulator, name=f"{label}.write",
+                             location=Location.DATABASE, rate=rate,
+                             codec=codec, geometry=geometry)
+        self.system.graph.add(writer)
+        self._activities.append(writer)
+        activities = [source, writer]
+        if codec is not None:
+            encoder = VideoEncoder(self.system.simulator, codec,
+                                   name=f"{label}.encode",
+                                   location=Location.DATABASE)
+            self.system.graph.add(encoder)
+            self._activities.append(encoder)
+            up = self.connect(source, encoder.port("video_in"))
+            down = self.connect(encoder.port("video_out"), writer)
+            connections = up.connections + down.connections
+            activities.insert(1, encoder)
+        else:
+            stream = self.connect(source, writer)
+            connections = stream.connections
+        recording = Recording(self, Stream(self, connections, activities), writer)
+        return recording
+
+    # -- asynchronous notification ---------------------------------------
+    def notify_on(self, activity: MediaActivity, event_name: str) -> None:
+        """Subscribe: events arrive in ``session.notifications``."""
+        self._require_open()
+
+        def _handler(act, name, payload):
+            self.notifications.append(
+                Notification(act.name, name, payload, self.system.simulator.now)
+            )
+
+        activity.catch(event_name, _handler)
+
+    def notifications_for(self, activity: MediaActivity) -> List[Notification]:
+        return [n for n in self.notifications if n.activity == activity.name]
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[WorldTime] = None) -> WorldTime:
+        """Drive the simulation (the 'client event loop')."""
+        return self.system.simulator.run(until)
+
+    def close(self) -> None:
+        """Stop this session's running activities and free its resources."""
+        if self.closed:
+            return
+        for activity in self._activities:
+            if activity.state is ActivityState.RUNNING:
+                activity.stop()
+        for lease in self._leases:
+            if not lease.released:
+                lease.release()
+        # Give back the channel bandwidth this session's streams reserved.
+        for stream in self._streams:
+            for connection in stream.connections:
+                if connection.reservation is not None:
+                    connection.reservation.release()
+        self.closed = True
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.name!r} is closed")
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"Session({self.name!r}, {state}, {len(self._activities)} activities)"

@@ -1,0 +1,282 @@
+"""Generator-based discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock (a :class:`~repro.avtime.WorldTime`)
+and an event queue.  User code is written as generator functions that yield
+*commands*:
+
+``Delay(dt)``
+    Suspend the process for ``dt`` virtual seconds.
+``WaitEvent(ev)``
+    Suspend until ``ev.trigger(payload)`` fires; the yield evaluates to the
+    payload.
+``WaitProcess(proc)``
+    Suspend until another process finishes; evaluates to its return value.
+``Acquire(res)`` / ``Release(res)``
+    Capacity-based resource handshake (see :mod:`repro.sim.resource`).
+
+Processes may also ``yield`` a nested generator, which runs as a subroutine
+(its return value becomes the value of the yield), so process logic can be
+factored into helper generators.
+
+Determinism: ties in the event queue break by (time, sequence number), so
+identical inputs replay identical schedules — which is what makes the
+benchmark harness reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.avtime import WorldTime
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Command: suspend the yielding process for ``seconds`` virtual time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError(f"cannot delay a negative duration ({self.seconds})")
+
+
+@dataclass(frozen=True, slots=True)
+class WaitEvent:
+    """Command: suspend until the event triggers."""
+
+    event: "SimEvent"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitProcess:
+    """Command: suspend until the process completes."""
+
+    process: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire:
+    """Command: acquire ``amount`` units of a resource, queueing if needed."""
+
+    resource: Any
+    amount: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """Command: release ``amount`` units of a resource."""
+
+    resource: Any
+    amount: int = 1
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``trigger(payload)`` wakes every waiter; late waiters (waiting after
+    the trigger) resume immediately with the same payload.
+    """
+
+    __slots__ = ("simulator", "name", "_triggered", "_payload", "_waiters")
+
+    def __init__(self, simulator: "Simulator", name: str = "") -> None:
+        self.simulator = simulator
+        self.name = name
+        self._triggered = False
+        self._payload: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def payload(self) -> Any:
+        return self._payload
+
+    def trigger(self, payload: Any = None) -> None:
+        """Fire the event once, waking every waiter with ``payload``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.simulator._schedule_resume(proc, payload)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.simulator._schedule_resume(proc, self._payload)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running simulation process wrapping a user generator."""
+
+    __slots__ = ("simulator", "name", "_gen", "_stack", "done", "result", "error", "_watchers")
+
+    def __init__(self, simulator: "Simulator", gen: ProcessGen, name: str) -> None:
+        self.simulator = simulator
+        self.name = name
+        self._gen = gen
+        # Stack of generators for subroutine calls (yield <generator>).
+        self._stack: list[ProcessGen] = [gen]
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._watchers: list[Process] = []
+
+    def _add_watcher(self, proc: "Process") -> None:
+        if self.done:
+            self.simulator._schedule_resume(proc, self.result)
+        else:
+            self._watchers.append(proc)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """The event loop: virtual clock + priority queue of pending actions."""
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processes: list[Process] = []
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> WorldTime:
+        """Current virtual world time."""
+        return WorldTime(self._now)
+
+    # -- public API ------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name)
+
+    def spawn(self, gen: ProcessGen, name: str = "process") -> Process:
+        """Register a generator as a process, starting at the current time."""
+        if not isinstance(gen, Iterator):
+            raise SimulationError(f"spawn() requires a generator, got {type(gen).__name__}")
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def schedule_at(self, when: WorldTime, action: Callable[[], None]) -> None:
+        """Run a plain callable at virtual time ``when``."""
+        if when.seconds < self._now:
+            raise SimulationError(f"cannot schedule in the past ({when!r} < now {self.now!r})")
+        self._push(when.seconds, action)
+
+    def run(self, until: Optional[WorldTime] = None) -> WorldTime:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final virtual time.  If any process raised, the first
+        failure propagates after being recorded on the process.
+        """
+        limit = until.seconds if until is not None else None
+        while self._queue:
+            entry = self._queue[0]
+            if limit is not None and entry.time > limit:
+                self._now = limit
+                break
+            heapq.heappop(self._queue)
+            self._now = entry.time
+            entry.action()
+        else:
+            if limit is not None:
+                self._now = max(self._now, limit)
+        failed = next((p for p in self._processes if p.error is not None), None)
+        if failed is not None:
+            raise failed.error
+        return self.now
+
+    def run_until_complete(self, proc: Process) -> Any:
+        """Run until ``proc`` finishes; return its result."""
+        while not proc.done and self._queue:
+            entry = heapq.heappop(self._queue)
+            self._now = entry.time
+            entry.action()
+        if proc.error is not None:
+            raise proc.error
+        if not proc.done:
+            raise SimulationError(f"queue drained before {proc!r} completed (deadlock?)")
+        return proc.result
+
+    # -- internals ---------------------------------------------------------
+    def _push(self, time: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, _QueueEntry(time, self._seq, action))
+
+    def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0) -> None:
+        self._push(self._now + delay, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        if proc.done:
+            return
+        while True:
+            gen = proc._stack[-1]
+            try:
+                command = gen.send(send_value)
+            except StopIteration as stop:
+                proc._stack.pop()
+                if proc._stack:
+                    # Subroutine returned: resume the caller with its value.
+                    send_value = stop.value
+                    continue
+                self._finish(proc, stop.value, None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - recorded and re-raised by run()
+                self._finish(proc, None, exc)
+                return
+            if isinstance(command, Delay):
+                self._schedule_resume(proc, None, command.seconds)
+                return
+            if isinstance(command, WaitEvent):
+                command.event._add_waiter(proc)
+                return
+            if isinstance(command, WaitProcess):
+                command.process._add_watcher(proc)
+                return
+            if isinstance(command, Acquire):
+                command.resource._acquire(proc, command.amount)
+                return
+            if isinstance(command, Release):
+                command.resource._release(command.amount)
+                send_value = None
+                continue
+            if isinstance(command, Iterator):
+                proc._stack.append(command)
+                send_value = None
+                continue
+            self._finish(
+                proc,
+                None,
+                SimulationError(f"process {proc.name!r} yielded unsupported command {command!r}"),
+            )
+            return
+
+    def _finish(self, proc: Process, result: Any, error: Optional[BaseException]) -> None:
+        proc.done = True
+        proc.result = result
+        proc.error = error
+        watchers, proc._watchers = proc._watchers, []
+        for watcher in watchers:
+            self._schedule_resume(watcher, result)

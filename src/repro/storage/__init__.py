@@ -1,0 +1,44 @@
+"""Storage substrate: simulated devices, extents and placement.
+
+The paper's §3.3 "data placement" characteristic: "it may simply not be
+possible for the database to simultaneously produce the two video values
+unless they reside on different devices ... The alternative then is to
+make visible to the client some aspect of the physical storage structure."
+
+* :class:`Device` and its models (magnetic disk, writable CD, the
+  LaserVision jukebox) — finite capacity, finite streaming bandwidth with
+  admission control, seek/swap latencies;
+* :class:`ExtentAllocator` — first-fit extent allocation on a device;
+* :class:`PlacementManager` — which device holds which value, the
+  client-visible placement interface, and the copy-to-second-device
+  fallback whose cost benchmark C1 measures.
+"""
+
+from repro.storage.devices import (
+    Device,
+    DeviceReservation,
+    JukeboxDevice,
+    MagneticDisk,
+    WritableCD,
+)
+from repro.storage.extents import Extent, ExtentAllocator
+from repro.storage.placement import Placement, PlacementManager
+from repro.storage.scheduler import DiskScheduler, Policy
+from repro.storage.striping import StripedReservation, StripeSet, StripingManager
+
+__all__ = [
+    "DiskScheduler",
+    "Policy",
+    "StripingManager",
+    "StripeSet",
+    "StripedReservation",
+    "Device",
+    "DeviceReservation",
+    "MagneticDisk",
+    "WritableCD",
+    "JukeboxDevice",
+    "Extent",
+    "ExtentAllocator",
+    "Placement",
+    "PlacementManager",
+]

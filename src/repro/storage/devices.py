@@ -1,0 +1,238 @@
+"""Simulated storage devices.
+
+Each device model combines:
+
+* a byte capacity with extent allocation;
+* a streaming bandwidth with admission control — a device can only
+  sustain concurrent real-time streams up to its transfer rate, which is
+  what makes the paper's same-device video-mixing example fail;
+* access latencies: per-open seek for disks, disc-swap for the jukebox.
+
+Three models cover the paper's storage discussion: magnetic disk, writable
+CD ("improvements in storage media such as high-capacity magnetic disks
+and writable CDs") and the analog LaserVision jukebox ("an analog
+videodisc jukebox provides a video storage capacity difficult to achieve
+using magnetic disks").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, Optional
+
+from repro.errors import AdmissionError, StorageError
+from repro.sim import Delay, Simulator
+from repro.storage.extents import Extent, ExtentAllocator
+
+_reservation_ids = itertools.count(1)
+
+
+class DeviceReservation:
+    """A streaming-bandwidth slice of one device, held by one stream.
+
+    Satisfies the ``io_stream`` protocol of the reader/writer activities:
+    ``read(bits)`` / ``write(bits)`` are DES subroutines charging transfer
+    time at the reserved rate.  The first access after ``open()`` pays the
+    device's positioning latency.
+    """
+
+    def __init__(self, device: "Device", bps: float, label: str) -> None:
+        self.device = device
+        self.bps = bps
+        self.label = label
+        self.id = next(_reservation_ids)
+        self.bits_read = 0
+        self.bits_written = 0
+        self.released = False
+        self._positioned = False
+
+    def open(self) -> Generator:
+        """Position the device (seek / disc swap) before streaming."""
+        latency = self.device.position_latency_s()
+        if latency > 0:
+            yield Delay(latency)
+        self._positioned = True
+
+    def _transfer(self, bits: int) -> Generator:
+        if self.released:
+            raise StorageError(f"reservation {self.label!r} was released")
+        if not self._positioned:
+            yield from self.open()
+        duration = bits / self.bps
+        if duration > 0:
+            yield Delay(duration)
+
+    def read(self, bits: int) -> Generator:
+        yield from self._transfer(bits)
+        self.bits_read += bits
+        self.device.total_bits_read += bits
+
+    def write(self, bits: int) -> Generator:
+        yield from self._transfer(bits)
+        self.bits_written += bits
+        self.device.total_bits_written += bits
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.device._release(self)
+
+    def __repr__(self) -> str:
+        return f"DeviceReservation({self.label!r}, {self.bps:g} b/s on {self.device.name!r})"
+
+
+class Device:
+    """A storage device: capacity, streaming bandwidth, latency model."""
+
+    kind = "device"
+
+    def __init__(self, simulator: Simulator, name: str, capacity_bytes: int,
+                 bandwidth_bps: float, seek_s: float = 0.0) -> None:
+        if bandwidth_bps <= 0:
+            raise StorageError(f"device bandwidth must be positive, got {bandwidth_bps}")
+        self.simulator = simulator
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.seek_s = seek_s
+        self.allocator = ExtentAllocator(name, capacity_bytes)
+        self._reservations: Dict[int, DeviceReservation] = {}
+        self.total_bits_read = 0
+        self.total_bits_written = 0
+        self.admission_failures = 0
+
+    # -- admission control (streaming) -----------------------------------
+    @property
+    def reserved_bps(self) -> float:
+        return sum(r.bps for r in self._reservations.values())
+
+    @property
+    def available_bps(self) -> float:
+        return self.bandwidth_bps - self.reserved_bps
+
+    def can_admit(self, bps: float) -> bool:
+        return bps <= self.available_bps + 1e-9
+
+    def reserve(self, bps: float, label: str = "stream") -> DeviceReservation:
+        """Admit a real-time stream; fails when the device is saturated."""
+        if bps <= 0:
+            raise AdmissionError(f"cannot reserve non-positive bandwidth {bps}")
+        if not self.can_admit(bps):
+            self.admission_failures += 1
+            raise AdmissionError(
+                f"device {self.name!r}: cannot admit stream at {bps:g} b/s "
+                f"({self.available_bps:g} of {self.bandwidth_bps:g} b/s available)"
+            )
+        reservation = DeviceReservation(self, bps, label)
+        self._reservations[reservation.id] = reservation
+        return reservation
+
+    def _release(self, reservation: DeviceReservation) -> None:
+        self._reservations.pop(reservation.id, None)
+
+    def position_latency_s(self) -> float:
+        """Latency to position before a stream starts (seek, swap...)."""
+        return self.seek_s
+
+    # -- allocation facade -------------------------------------------------
+    def allocate(self, nbytes: int) -> Extent:
+        return self.allocator.allocate(nbytes)
+
+    def free(self, extent: Extent) -> None:
+        self.allocator.free(extent)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.allocator.free_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{self.reserved_bps:g}/{self.bandwidth_bps:g} b/s reserved, "
+            f"{self.allocator.used_bytes}/{self.allocator.capacity_bytes} bytes used)"
+        )
+
+
+class MagneticDisk(Device):
+    """A 1993-era high-capacity magnetic disk.
+
+    Defaults: 2 GB, 48 Mb/s sustained transfer, 15 ms average seek —
+    enough for a couple of compressed video streams but nowhere near two
+    concurrent uncompressed ones, which is the point of benchmark C1.
+    """
+
+    kind = "magnetic-disk"
+
+    def __init__(self, simulator: Simulator, name: str = "disk",
+                 capacity_bytes: int = 2_000_000_000,
+                 bandwidth_bps: float = 48_000_000.0,
+                 seek_s: float = 0.015) -> None:
+        super().__init__(simulator, name, capacity_bytes, bandwidth_bps, seek_s)
+
+
+class WritableCD(Device):
+    """A writable CD: big for the time, slow to stream (~1.2 Mb/s x N)."""
+
+    kind = "writable-cd"
+
+    def __init__(self, simulator: Simulator, name: str = "cd",
+                 capacity_bytes: int = 650_000_000,
+                 bandwidth_bps: float = 4_800_000.0,
+                 seek_s: float = 0.2) -> None:
+        super().__init__(simulator, name, capacity_bytes, bandwidth_bps, seek_s)
+
+
+class JukeboxDevice(Device):
+    """An analog LaserVision videodisc jukebox.
+
+    Huge capacity; one stream at a time; positioning may require a disc
+    swap (seconds, not milliseconds).  Reads deliver *analog* video that
+    must pass through a digitizer activity.
+    """
+
+    kind = "videodisc-jukebox"
+
+    def __init__(self, simulator: Simulator, name: str = "jukebox",
+                 discs: int = 100, capacity_per_disc: int = 10_000_000_000,
+                 bandwidth_bps: float = 270_000_000.0,
+                 swap_s: float = 8.0, seek_s: float = 0.5) -> None:
+        super().__init__(simulator, name, discs * capacity_per_disc,
+                         bandwidth_bps, seek_s)
+        self.discs = discs
+        self.capacity_per_disc = capacity_per_disc
+        self.swap_s = swap_s
+        self._loaded_disc: Optional[int] = None
+        self.swap_count = 0
+
+    _pending_swap_s: float = 0.0
+
+    def load_disc(self, disc: int) -> float:
+        """Select a disc; the swap cost is paid at the next stream open."""
+        if not 0 <= disc < self.discs:
+            raise StorageError(f"jukebox has discs 0..{self.discs - 1}, got {disc}")
+        if self._loaded_disc == disc:
+            return 0.0
+        self._loaded_disc = disc
+        self.swap_count += 1
+        self._pending_swap_s = self.swap_s
+        return self.swap_s
+
+    @property
+    def loaded_disc(self) -> Optional[int]:
+        return self._loaded_disc
+
+    def reserve(self, bps: float, label: str = "stream") -> DeviceReservation:
+        """Admit at most one concurrent analog stream."""
+        # Analog playback: exactly one stream at a time, regardless of rate.
+        if self._reservations:
+            self.admission_failures += 1
+            raise AdmissionError(
+                f"jukebox {self.name!r} is playing; analog devices serve one stream"
+            )
+        return super().reserve(bps, label)
+
+    def position_latency_s(self) -> float:
+        # Positioning pays the seek plus any pending disc swap; an unloaded
+        # jukebox must always swap a disc in first.
+        swap = self._pending_swap_s if self._loaded_disc is not None else self.swap_s
+        self._pending_swap_s = 0.0
+        return self.seek_s + swap

@@ -1,0 +1,44 @@
+"""Streams: AV data in its *active* state (paper §4.2).
+
+"AV data has an active state.  In this form it is best thought of as a
+stream, i.e., a rate can be associated with the data and operations on the
+data must proceed at this rate. ... AV database systems must manage
+streams of data in addition to passive data elements."
+
+* :class:`StreamElement` — one in-flight data element, stamped with its
+  object-time index, ideal presentation time and size;
+* :class:`StreamBuffer` — the bounded, backpressured queue that carries
+  elements across a port connection (runs on the DES kernel);
+* :class:`PresentationLog` — what a sink records; skew/jitter statistics
+  are computed from these logs;
+* :class:`JitterModel` hierarchy — injected latency models, including the
+  accumulating drift that motivates the paper's "regular
+  resynchronization" requirement, and the resync controller that removes
+  it.
+"""
+
+from repro.streams.buffer import StreamBuffer
+from repro.streams.clock import PresentationLog, PresentationRecord, skew_between
+from repro.streams.element import END_OF_STREAM, EndOfStream, StreamElement
+from repro.streams.sync import (
+    JitterModel,
+    NoJitter,
+    RandomWalkJitter,
+    Resynchronizer,
+    SyncGroup,
+)
+
+__all__ = [
+    "StreamElement",
+    "EndOfStream",
+    "END_OF_STREAM",
+    "StreamBuffer",
+    "PresentationLog",
+    "PresentationRecord",
+    "skew_between",
+    "JitterModel",
+    "NoJitter",
+    "RandomWalkJitter",
+    "Resynchronizer",
+    "SyncGroup",
+]

@@ -1,0 +1,78 @@
+"""Bounded stream buffers with backpressure.
+
+The carrier of a port connection: producers block (in virtual time) when
+the buffer is full, consumers block when it is empty.  Bounded buffers are
+what makes "system resources (buffers ...) are limited" (§3.3) true inside
+the simulation — a slow sink really does stall its upstream source.
+
+``put``/``get`` are generator subroutines for DES processes::
+
+    yield from buffer.put(element)
+    element = yield from buffer.get()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.errors import SimulationError
+from repro.sim import SimEvent, Simulator, WaitEvent
+
+
+class StreamBuffer:
+    """FIFO of stream elements with a capacity bound."""
+
+    def __init__(self, simulator: Simulator, capacity: int = 8, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise SimulationError(f"buffer capacity must be >= 1, got {capacity}")
+        self.simulator = simulator
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._not_full: Deque[SimEvent] = deque()
+        self._not_empty: Deque[SimEvent] = deque()
+        # Statistics for the resource-pressure benchmarks.
+        self.total_put = 0
+        self.producer_stalls = 0
+        self.consumer_stalls = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> Generator:
+        """Generator subroutine: enqueue, stalling while full."""
+        while self.full:
+            self.producer_stalls += 1
+            event = self.simulator.event(f"{self.name}:not_full")
+            self._not_full.append(event)
+            yield WaitEvent(event)
+        self._items.append(item)
+        self.total_put += 1
+        self.high_watermark = max(self.high_watermark, len(self._items))
+        if self._not_empty:
+            self._not_empty.popleft().trigger()
+
+    def get(self) -> Generator:
+        """Generator subroutine: dequeue, stalling while empty."""
+        while self.empty:
+            self.consumer_stalls += 1
+            event = self.simulator.event(f"{self.name}:not_empty")
+            self._not_empty.append(event)
+            yield WaitEvent(event)
+        item = self._items.popleft()
+        if self._not_full:
+            self._not_full.popleft().trigger()
+        return item
+
+    def __repr__(self) -> str:
+        return f"StreamBuffer({self.name!r}, {len(self._items)}/{self.capacity})"

@@ -1,0 +1,55 @@
+"""Stream elements: the unit of active AV data.
+
+Each element carries its payload plus the metadata the stream machinery
+needs: the object-time index it came from, the *ideal* world time at which
+it should be presented (what the producing source's time mapping says,
+before any jitter), its media type and its wire size in bits (what channel
+transfer and traffic accounting charge for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.avtime import WorldTime
+from repro.values.mediatype import MediaType
+
+
+@dataclass(frozen=True, slots=True)
+class StreamElement:
+    """One data element in flight."""
+
+    payload: Any
+    index: int
+    ideal_time: WorldTime
+    media_type: MediaType
+    size_bits: int
+
+    def with_payload(self, payload: Any, media_type: MediaType | None = None,
+                     size_bits: int | None = None) -> "StreamElement":
+        """A transformed copy (same timing identity, new payload)."""
+        return StreamElement(
+            payload=payload,
+            index=self.index,
+            ideal_time=self.ideal_time,
+            media_type=media_type or self.media_type,
+            size_bits=self.size_bits if size_bits is None else size_bits,
+        )
+
+
+class EndOfStream:
+    """Sentinel closing a stream; compares equal to itself only."""
+
+    _instance: "EndOfStream | None" = None
+
+    def __new__(cls) -> "EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "END_OF_STREAM"
+
+
+END_OF_STREAM = EndOfStream()

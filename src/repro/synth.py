@@ -1,0 +1,163 @@
+"""Synthetic AV content generators.
+
+The paper's workloads (newscasts, promotional videos, virtual-world
+imagery) are proprietary 1993 media; per the substitution rule these
+generators produce deterministic synthetic equivalents with the relevant
+statistical properties: temporal coherence for interframe codecs, flat
+regions for RLE, tonal audio for the compressors, and multi-track
+newscast composites for temporal composition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.avtime import WorldTime
+from repro.temporal import TCompSpec, TemporalComposite, Timeline, TrackSpec
+from repro.values import (
+    LVVideoValue,
+    MIDIEvent,
+    MIDIValue,
+    RawAudioValue,
+    RawVideoValue,
+    TextStreamValue,
+)
+from repro.values.mediatype import standard_type
+from repro.values.text import TextItem
+
+
+def moving_scene(num_frames: int = 30, width: int = 64, height: int = 48,
+                 color: bool = False, seed: int = 0) -> RawVideoValue:
+    """Temporally coherent video: a bright square drifting over a gradient.
+
+    Adjacent frames differ by a few pixels — the workload interframe
+    codecs were built for.
+    """
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    background = ((x * 255) // max(1, width - 1)).astype(np.uint8) // 2
+    frames = np.empty((num_frames, height, width), dtype=np.uint8)
+    box = max(4, min(width, height) // 4)
+    vx, vy = 2, 1
+    px, py = rng.integers(0, max(1, width - box)), rng.integers(0, max(1, height - box))
+    for i in range(num_frames):
+        frame = background.copy()
+        frame[py:py + box, px:px + box] = 230
+        frames[i] = frame
+        px = (px + vx) % max(1, width - box)
+        py = (py + vy) % max(1, height - box)
+    if color:
+        rgb = np.stack([frames, np.roll(frames, 7, axis=2), 255 - frames], axis=3)
+        return RawVideoValue(rgb, rate=30.0)
+    return RawVideoValue(frames, rate=30.0)
+
+
+def noise_video(num_frames: int = 30, width: int = 64, height: int = 48,
+                seed: int = 0) -> RawVideoValue:
+    """Temporally uncorrelated video (worst case for interframe coding)."""
+    rng = np.random.default_rng(seed)
+    frames = rng.integers(0, 256, size=(num_frames, height, width), dtype=np.uint8)
+    return RawVideoValue(frames, rate=30.0)
+
+
+def flat_video(num_frames: int = 30, width: int = 64, height: int = 48,
+               level: int = 128) -> RawVideoValue:
+    """Constant frames (best case for RLE)."""
+    frames = np.full((num_frames, height, width), level, dtype=np.uint8)
+    return RawVideoValue(frames, rate=30.0)
+
+
+def analog_master(num_frames: int = 30, width: int = 64, height: int = 48,
+                  seed: int = 0) -> LVVideoValue:
+    """An analog LaserVision value (same content as moving_scene)."""
+    digital = moving_scene(num_frames, width, height, seed=seed)
+    return LVVideoValue(digital.frames_array, rate=30.0)
+
+
+def tone(seconds: float = 1.0, frequency_hz: float = 440.0,
+         sample_rate: float = 22050.0, channels: int = 1,
+         amplitude: float = 0.5) -> RawAudioValue:
+    """A sine tone with a quiet second harmonic."""
+    n = max(1, int(seconds * sample_rate))
+    t = np.arange(n) / sample_rate
+    wave = amplitude * np.sin(2 * np.pi * frequency_hz * t)
+    wave += amplitude * 0.2 * np.sin(2 * np.pi * 2 * frequency_hz * t)
+    pcm = np.round(wave * 32767.0).astype(np.int16)
+    samples = np.tile(pcm, (channels, 1))
+    return RawAudioValue(samples, sample_rate=sample_rate)
+
+
+def speech_like(seconds: float = 1.0, sample_rate: float = 8000.0,
+                seed: int = 0) -> RawAudioValue:
+    """Band-limited noise bursts resembling speech envelopes."""
+    rng = np.random.default_rng(seed)
+    n = max(1, int(seconds * sample_rate))
+    noise = rng.normal(0, 1, n)
+    # Simple smoothing (low-pass) plus a syllable-rate envelope.
+    kernel = np.ones(8) / 8
+    smooth = np.convolve(noise, kernel, mode="same")
+    envelope = 0.5 * (1 + np.sin(2 * np.pi * 3.0 * np.arange(n) / sample_rate))
+    pcm = np.round(smooth * envelope * 12000.0).astype(np.int16)
+    return RawAudioValue(pcm, sample_rate=sample_rate)
+
+
+def subtitle_track(lines: Optional[Sequence[str]] = None,
+                   rate: float = 0.5) -> TextStreamValue:
+    """A subtitle stream (default: one line every 2 seconds)."""
+    lines = list(lines) if lines else [
+        "Good evening.", "Tonight's top story.", "More after the break.",
+    ]
+    return TextStreamValue([TextItem(line) for line in lines], rate=rate)
+
+
+def jingle(notes: Optional[Sequence[int]] = None,
+           ticks_per_second: float = 480.0) -> MIDIValue:
+    """A short MIDI melody (C major arpeggio by default)."""
+    notes = list(notes) if notes else [60, 64, 67, 72]
+    events = [
+        MIDIEvent(tick=i * 240, note=note, velocity=100, duration_ticks=240)
+        for i, note in enumerate(notes)
+    ]
+    return MIDIValue(events, ticks_per_second=ticks_per_second)
+
+
+NEWSCAST_CLIP_SPEC = TCompSpec("clip", (
+    TrackSpec("videoTrack", standard_type("video/*")),
+    TrackSpec("englishTrack", standard_type("audio/*")),
+    TrackSpec("frenchTrack", standard_type("audio/*")),
+    TrackSpec("subtitleTrack", standard_type("text/stream")),
+))
+
+
+def newscast_clip(video_frames: int = 30, audio_seconds: float = 1.0,
+                  video_delay_s: float = 0.0, seed: int = 0) -> TemporalComposite:
+    """The paper's Newscast.clip: 4 temporally composed tracks (Fig. 1).
+
+    By default all tracks start together; ``video_delay_s`` reproduces the
+    Fig. 1 shape where the video track occupies a different span than the
+    audio/subtitle tracks.
+    """
+    video = moving_scene(video_frames, seed=seed)
+    english = tone(audio_seconds, 440.0)
+    french = tone(audio_seconds, 330.0)
+    subtitles = subtitle_track(rate=max(0.25, 2.0 / max(audio_seconds, 0.1)))
+    if video_delay_s:
+        video = video.translate(WorldTime(video_delay_s))
+    values = {
+        "videoTrack": video,
+        "englishTrack": english,
+        "frenchTrack": french,
+        "subtitleTrack": subtitles,
+    }
+    return TemporalComposite(NEWSCAST_CLIP_SPEC, values)
+
+
+def fig1_timeline(t0: float = 0.0, t1: float = 1.0, t2: float = 3.0) -> Timeline:
+    """The exact timeline of Fig. 1: video [t0, t1); other tracks [t1, t2)."""
+    timeline = Timeline()
+    timeline.place("videoTrack", WorldTime(t0), WorldTime(t1 - t0))
+    for track in ("englishTrack", "frenchTrack", "subtitleTrack"):
+        timeline.place(track, WorldTime(t1), WorldTime(t2 - t1))
+    return timeline

@@ -1,0 +1,28 @@
+"""Temporal composition (paper §4.1, Fig. 1).
+
+"The audio track and video track are temporally correlated, this
+correlation is specified using temporal composition. ... Within a class
+definition, temporally correlated attributes are grouped using a 'tcomp'
+construct. ... Correlations between the components are specified, on a
+per-instance basis, by a timeline diagram."
+
+* :class:`TrackSpec` / :class:`TCompSpec` — the class-level ``tcomp``
+  construct (track names + media types + optional quality factors);
+* :class:`Timeline` — the per-instance timeline diagram: each track's
+  (start, duration) placement, with the ASCII rendering that regenerates
+  Fig. 1;
+* :class:`TemporalComposite` — a set of tracks bound to AV values and
+  positioned by a timeline; scale/translate distribute over all tracks.
+"""
+
+from repro.temporal.spec import TCompSpec, TrackSpec
+from repro.temporal.timeline import Timeline, TimelineEntry
+from repro.temporal.composite import TemporalComposite
+
+__all__ = [
+    "TrackSpec",
+    "TCompSpec",
+    "Timeline",
+    "TimelineEntry",
+    "TemporalComposite",
+]

@@ -1,0 +1,96 @@
+"""The class-level ``tcomp`` construct.
+
+The paper's Newscast example::
+
+    class Newscast {
+        ...
+        tcomp clip {
+            VideoValue      videoTrack
+            AudioValue      englishTrack
+            AudioValue      frenchTrack
+            TextStreamValue subtitleTrack
+        }
+    }
+
+A :class:`TCompSpec` declares the track names and the media type each
+track's values must carry (kind-level wildcard types accepted), plus an
+optional quality factor per track ("Quality factors are optional in class
+definitions. If absent, stored values can be of varying quality.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SchemaError, TemporalError
+from repro.quality.factors import QualityFactor
+from repro.values.base import MediaValue
+from repro.values.mediatype import MediaType
+
+
+@dataclass(frozen=True, slots=True)
+class TrackSpec:
+    """One track declaration inside a ``tcomp``."""
+
+    name: str
+    media_type: MediaType
+    quality: Optional[QualityFactor] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"track name {self.name!r} is not a valid identifier")
+
+    def accepts_value(self, value: MediaValue) -> bool:
+        return self.media_type.accepts(value.media_type)
+
+
+@dataclass(frozen=True)
+class TCompSpec:
+    """A named group of temporally correlated track declarations."""
+
+    name: str
+    tracks: Tuple[TrackSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"tcomp name {self.name!r} is not a valid identifier")
+        if not self.tracks:
+            raise SchemaError(f"tcomp {self.name!r} declares no tracks")
+        names = [t.name for t in self.tracks]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"tcomp {self.name!r} has duplicate track names")
+
+    @property
+    def track_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tracks)
+
+    def track(self, name: str) -> TrackSpec:
+        for spec in self.tracks:
+            if spec.name == name:
+                return spec
+        raise SchemaError(f"tcomp {self.name!r} has no track {name!r}")
+
+    def validate_values(self, values: Dict[str, MediaValue]) -> None:
+        """Check a full track->value assignment against this spec.
+
+        Every declared track must be present and type-correct; unknown
+        track names are rejected.
+        """
+        unknown = set(values) - set(self.track_names)
+        if unknown:
+            raise SchemaError(
+                f"tcomp {self.name!r}: unknown tracks {sorted(unknown)}"
+            )
+        missing = set(self.track_names) - set(values)
+        if missing:
+            raise TemporalError(
+                f"tcomp {self.name!r}: missing values for tracks {sorted(missing)}"
+            )
+        for name, value in values.items():
+            spec = self.track(name)
+            if not spec.accepts_value(value):
+                raise SchemaError(
+                    f"track {name!r} requires {spec.media_type.name}, "
+                    f"got {value.media_type.name}"
+                )

@@ -1,0 +1,70 @@
+"""The AV data model: ``MediaValue`` and its specializations (paper §4.1).
+
+An *AV value* is a finite sequence of digital audio or video data elements;
+each value has a *media data type* governing the encoding and
+interpretation of its elements and determining its data rate (paper §3.1,
+definitions 1–2).
+
+The class hierarchy mirrors the paper:
+
+* :class:`MediaValue` — the abstract framework class with the two temporal
+  coordinate systems and the ``WorldToObject`` / ``ObjectToWorld`` /
+  ``Scale`` / ``Translate`` / ``Element`` behaviours;
+* :class:`VideoValue` / :class:`AudioValue` — the media specializations of
+  §4.1, plus :class:`TextStreamValue` (used by the Newscast example),
+  :class:`ImageValue` ("sequence of raster images") and
+  :class:`MIDIValue` (the paper's "alternate representation from which
+  audio sequences are produced");
+* encoded specializations "reflecting different encoding and storage
+  strategies": ``JPEGVideoValue``, ``MPEGVideoValue``, ``DVIVideoValue``,
+  ``CCIRVideoValue``, ``LVVideoValue`` and the encoded audio classes.
+"""
+
+from repro.values.audio import ADPCMAudioValue, AudioValue, MuLawAudioValue, RawAudioValue
+from repro.values.base import MediaValue
+from repro.values.image import ImageValue
+from repro.values.mediatype import (
+    MediaKind,
+    MediaType,
+    MediaTypeRegistry,
+    STANDARD_TYPES,
+    standard_type,
+)
+from repro.values.midi import MIDIEvent, MIDIValue
+from repro.values.text import TextItem, TextStreamValue
+from repro.values.video import (
+    CCIRVideoValue,
+    DVIVideoValue,
+    EncodedVideoValue,
+    JPEGVideoValue,
+    LVVideoValue,
+    MPEGVideoValue,
+    RawVideoValue,
+    VideoValue,
+)
+
+__all__ = [
+    "MediaValue",
+    "MediaKind",
+    "MediaType",
+    "MediaTypeRegistry",
+    "STANDARD_TYPES",
+    "standard_type",
+    "VideoValue",
+    "RawVideoValue",
+    "EncodedVideoValue",
+    "JPEGVideoValue",
+    "MPEGVideoValue",
+    "DVIVideoValue",
+    "CCIRVideoValue",
+    "LVVideoValue",
+    "AudioValue",
+    "RawAudioValue",
+    "MuLawAudioValue",
+    "ADPCMAudioValue",
+    "TextStreamValue",
+    "TextItem",
+    "ImageValue",
+    "MIDIValue",
+    "MIDIEvent",
+]

@@ -1,0 +1,108 @@
+"""Access control: the security function §2 says was 'never really
+addressed in multimedia database systems'."""
+
+import pytest
+
+from repro.db import AttributeSpec, ClassDef, Database
+from repro.db.access import (
+    ANY_CLASS,
+    AccessController,
+    AccessDeniedError,
+    GuardedDatabase,
+    Permission,
+)
+from repro.db.query import Q
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.define_class(ClassDef("Newscast", attributes=[
+        AttributeSpec("title", str, indexed=True),
+    ]))
+    database.define_class(ClassDef("PromoVideo", attributes=[
+        AttributeSpec("title", str, indexed=True),
+    ]))
+    return database
+
+
+@pytest.fixture
+def controller():
+    control = AccessController()
+    control.grant("admin", ANY_CLASS, Permission.READ | Permission.WRITE | Permission.ADMIN)
+    control.grant("archivist", "Newscast", Permission.READ | Permission.WRITE)
+    control.grant("viewer", "Newscast", Permission.READ)
+    return control
+
+
+class TestController:
+    def test_holds_and_require(self, controller):
+        assert controller.holds("viewer", "Newscast", Permission.READ)
+        assert not controller.holds("viewer", "Newscast", Permission.WRITE)
+        with pytest.raises(AccessDeniedError, match="lacks WRITE"):
+            controller.require("viewer", "Newscast", Permission.WRITE)
+
+    def test_wildcard_superuser(self, controller):
+        assert controller.holds("admin", "PromoVideo", Permission.WRITE)
+        assert controller.holds("admin", "anything", Permission.ADMIN)
+
+    def test_grant_requires_admin(self, controller):
+        with pytest.raises(AccessDeniedError, match="cannot grant"):
+            controller.grant("viewer2", "Newscast", Permission.READ,
+                             granted_by="archivist")
+        controller.grant("viewer2", "Newscast", Permission.READ,
+                         granted_by="admin")
+        assert controller.holds("viewer2", "Newscast", Permission.READ)
+
+    def test_revoke(self, controller):
+        controller.revoke("viewer", "Newscast", Permission.READ,
+                          revoked_by="admin")
+        assert not controller.holds("viewer", "Newscast", Permission.READ)
+
+    def test_revoke_partial_keeps_rest(self, controller):
+        controller.revoke("archivist", "Newscast", Permission.WRITE,
+                          revoked_by="admin")
+        assert controller.holds("archivist", "Newscast", Permission.READ)
+
+    def test_revoke_requires_admin(self, controller):
+        with pytest.raises(AccessDeniedError, match="cannot revoke"):
+            controller.revoke("viewer", "Newscast", Permission.READ,
+                              revoked_by="archivist")
+
+    def test_permissions_of(self, controller):
+        perms = controller.permissions_of("archivist")
+        assert perms == {"Newscast": Permission.READ | Permission.WRITE}
+
+
+class TestGuardedDatabase:
+    def test_read_write_split(self, db, controller):
+        archivist = GuardedDatabase(db, controller, "archivist")
+        viewer = GuardedDatabase(db, controller, "viewer")
+        oid = archivist.insert("Newscast", title="news")
+        assert viewer.get(oid).title == "news"
+        assert viewer.select("Newscast", Q.eq("title", "news")) == [oid]
+        with pytest.raises(AccessDeniedError):
+            viewer.insert("Newscast", title="forged")
+        with pytest.raises(AccessDeniedError):
+            viewer.update(oid, title="defaced")
+        with pytest.raises(AccessDeniedError):
+            viewer.delete(oid)
+
+    def test_class_isolation(self, db, controller):
+        archivist = GuardedDatabase(db, controller, "archivist")
+        with pytest.raises(AccessDeniedError):
+            archivist.select("PromoVideo")
+        with pytest.raises(AccessDeniedError):
+            archivist.insert("PromoVideo", title="promo")
+
+    def test_unknown_user_has_nothing(self, db, controller):
+        stranger = GuardedDatabase(db, controller, "stranger")
+        with pytest.raises(AccessDeniedError):
+            stranger.select("Newscast")
+
+    def test_admin_everywhere(self, db, controller):
+        admin = GuardedDatabase(db, controller, "admin")
+        oid = admin.insert("PromoVideo", title="promo")
+        admin.update(oid, title="promo v2")
+        assert admin.get(oid).title == "promo v2"
+        admin.delete(oid)

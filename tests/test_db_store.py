@@ -1,0 +1,153 @@
+"""Durability: WAL, checkpoints, crash recovery, torn-tail handling."""
+
+import os
+
+import pytest
+
+from repro.db import AttributeSpec, ClassDef, Database
+from repro.db.objects import DBObject, OID
+from repro.db.store import OP_INSERT, ObjectStore
+from repro.errors import DatabaseError, ObjectNotFoundError
+
+
+def doc_class():
+    return ClassDef("Doc", attributes=[
+        AttributeSpec("name", str, indexed=True),
+        AttributeSpec("body", str),
+    ])
+
+
+def reopen(path):
+    db = Database(str(path))
+    db.define_class(doc_class())
+    db.rebuild_indexes()
+    return db
+
+
+class TestInMemoryStore:
+    def test_basic_lifecycle(self):
+        store = ObjectStore()
+        oid = store.next_oid("Doc")
+        store.commit_ops(1, [(OP_INSERT, DBObject(oid, {"name": "a"}))])
+        assert store.get(oid).name == "a"
+        assert len(store) == 1
+        assert not store.durable
+
+    def test_missing_object(self):
+        store = ObjectStore()
+        with pytest.raises(ObjectNotFoundError):
+            store.get(OID("Doc", 99))
+
+    def test_insert_existing_rejected(self):
+        store = ObjectStore()
+        oid = store.next_oid("Doc")
+        obj = DBObject(oid, {})
+        store.commit_ops(1, [(OP_INSERT, obj)])
+        with pytest.raises(DatabaseError, match="insert of existing"):
+            store.commit_ops(2, [(OP_INSERT, obj)])
+
+    def test_checkpoint_requires_durable(self):
+        with pytest.raises(DatabaseError):
+            ObjectStore().checkpoint()
+
+
+class TestRecovery:
+    def test_wal_replay_after_close(self, tmp_path):
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        oid1 = db.insert("Doc", name="one")
+        oid2 = db.insert("Doc", name="two")
+        db.update(oid1, body="hello")
+        db.delete(oid2)
+        db.close()
+
+        recovered = reopen(tmp_path)
+        assert recovered.get(oid1).body == "hello"
+        assert not recovered.exists(oid2)
+        assert recovered._store.recovered_records == 4
+
+    def test_checkpoint_then_more_writes(self, tmp_path):
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        oid1 = db.insert("Doc", name="before")
+        db.checkpoint()
+        oid2 = db.insert("Doc", name="after")
+        db.close()
+
+        recovered = reopen(tmp_path)
+        assert recovered.get(oid1).name == "before"
+        assert recovered.get(oid2).name == "after"
+        # Only the post-checkpoint record replays from the WAL.
+        assert recovered._store.recovered_records == 1
+
+    def test_torn_tail_ignored(self, tmp_path):
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        oid1 = db.insert("Doc", name="committed")
+        db.insert("Doc", name="casualty")
+        db.close()
+        # Simulate a crash mid-append: truncate the last 7 bytes.
+        wal = tmp_path / ObjectStore.WAL_NAME
+        size = os.path.getsize(wal)
+        with open(wal, "r+b") as f:
+            f.truncate(size - 7)
+
+        recovered = reopen(tmp_path)
+        assert recovered.exists(oid1)
+        assert recovered._store.recovered_records == 1
+        assert len(recovered) == 1
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        oid1 = db.insert("Doc", name="good")
+        db.insert("Doc", name="flipped")
+        db.close()
+        wal = tmp_path / ObjectStore.WAL_NAME
+        data = bytearray(wal.read_bytes())
+        data[-3] ^= 0xFF  # flip a bit inside the last record's CRC
+        wal.write_bytes(bytes(data))
+
+        recovered = reopen(tmp_path)
+        assert recovered.exists(oid1)
+        assert len(recovered) == 1
+
+    def test_serials_continue_after_recovery(self, tmp_path):
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        old = db.insert("Doc", name="old")
+        db.close()
+
+        recovered = reopen(tmp_path)
+        new = recovered.insert("Doc", name="new")
+        assert new.serial > old.serial  # no OID reuse
+
+    def test_indexes_rebuild_after_recovery(self, tmp_path):
+        from repro.db import Q
+        db = Database(str(tmp_path))
+        db.define_class(doc_class())
+        oid = db.insert("Doc", name="findme")
+        db.close()
+
+        recovered = reopen(tmp_path)
+        assert recovered.select("Doc", Q.eq("name", "findme")) == [oid]
+
+    def test_media_values_survive_recovery(self, tmp_path):
+        import numpy as np
+        from repro.synth import moving_scene
+        from repro.values import VideoValue
+        db = Database(str(tmp_path))
+        db.define_class(ClassDef("Clip", attributes=[
+            AttributeSpec("video", VideoValue),
+        ]))
+        video = moving_scene(4, 16, 16)
+        oid = db.insert("Clip", video=video)
+        db.close()
+
+        recovered = Database(str(tmp_path))
+        recovered.define_class(ClassDef("Clip", attributes=[
+            AttributeSpec("video", VideoValue),
+        ]))
+        restored = recovered.get(oid).video
+        assert np.array_equal(restored.frames_array, video.frames_array)
+        assert restored.mapping.rate == video.mapping.rate

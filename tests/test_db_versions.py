@@ -1,0 +1,70 @@
+"""Version graphs and cross-object derivations."""
+
+import pytest
+
+from repro.db import AttributeSpec, ClassDef, Database
+from repro.db.objects import OID
+from repro.db.versions import VersionCatalog, VersionGraph
+from repro.errors import VersionError
+
+
+class TestVersionGraph:
+    def test_linear_history(self):
+        graph = VersionGraph(OID("Doc", 1))
+        graph.record(2, 1, "edit")
+        graph.record(3, 2, "another edit")
+        assert graph.lineage(3) == [3, 2, 1]
+        assert graph.latest() == 3
+        assert graph.heads() == [3]
+
+    def test_branching(self):
+        graph = VersionGraph(OID("Doc", 1))
+        graph.record(2, 1)
+        graph.record(3, 2)
+        graph.record(4, 2)  # branch off version 2
+        assert graph.is_branch_point(2)
+        assert sorted(graph.heads()) == [3, 4]
+        assert graph.children(2) == [3, 4]
+
+    def test_invalid_records(self):
+        graph = VersionGraph(OID("Doc", 1))
+        with pytest.raises(VersionError, match="already recorded"):
+            graph.record(1, 1)
+        with pytest.raises(VersionError, match="unknown parent"):
+            graph.record(5, 4)
+        with pytest.raises(VersionError, match="no version"):
+            graph.node(9)
+
+
+class TestCatalogIntegration:
+    def test_updates_build_history(self):
+        db = Database()
+        db.define_class(ClassDef("Doc", attributes=[AttributeSpec("body", str)]))
+        oid = db.insert("Doc", body="v1")
+        db.update(oid, body="v2")
+        db.update(oid, body="v3")
+        graph = db.versions.graph(oid)
+        assert graph.lineage(3) == [3, 2, 1]
+
+    def test_derivation_records(self):
+        catalog = VersionCatalog()
+        master = OID("Video", 1)
+        edit = OID("Video", 2)
+        catalog.record_derivation(edit, master, source_version=3, note="rough cut")
+        assert catalog.derivations_of(master)[0].derived == edit
+        assert catalog.derived_from(edit).source == master
+        assert catalog.derived_from(master) is None
+
+    def test_self_derivation_rejected(self):
+        catalog = VersionCatalog()
+        oid = OID("Video", 1)
+        with pytest.raises(VersionError):
+            catalog.record_derivation(oid, oid, 1)
+
+    def test_recovered_history_backfills(self):
+        catalog = VersionCatalog()
+        oid = OID("Doc", 1)
+        # An object recovered at version 5 with no recorded history.
+        catalog.record_update(oid, 5)
+        graph = catalog.graph(oid)
+        assert graph.lineage(5) == [5, 4, 3, 2, 1]

@@ -1,0 +1,119 @@
+"""Disk-head scheduling: FCFS vs C-SCAN."""
+
+import pytest
+
+from repro.sim import Delay, Simulator, WaitEvent
+from repro.storage.scheduler import DiskScheduler, Policy
+from repro.errors import StorageError
+
+
+def run_workload(policy, positions, bits=100_000):
+    """Submit interleaved requests from two 'streams'; return scheduler."""
+    sim = Simulator()
+    disk = DiskScheduler(sim, policy=policy)
+    disk.start()
+    completed = []
+
+    def client():
+        requests = [disk.submit(p, bits) for p in positions]
+        for request in requests:
+            yield WaitEvent(request.done)
+            completed.append(request)
+
+    proc = sim.spawn(client())
+    sim.run_until_complete(proc)
+    disk.stop()
+    sim.run()
+    return disk, completed
+
+
+class TestPolicies:
+    # Two sequential streams interleaved: the FCFS worst case.
+    POSITIONS = [10, 900, 20, 910, 30, 920, 40, 930, 50, 940]
+
+    def test_all_requests_served_under_both(self):
+        for policy in (Policy.FCFS, Policy.CSCAN):
+            disk, completed = run_workload(policy, self.POSITIONS)
+            assert disk.requests_served == len(self.POSITIONS)
+            assert len(completed) == len(self.POSITIONS)
+
+    def test_cscan_reduces_seek_distance(self):
+        fcfs, _ = run_workload(Policy.FCFS, self.POSITIONS)
+        cscan, _ = run_workload(Policy.CSCAN, self.POSITIONS)
+        assert cscan.total_seek_distance < fcfs.total_seek_distance / 3
+
+    def test_fcfs_preserves_order(self):
+        _, completed = run_workload(Policy.FCFS, self.POSITIONS)
+        served_order = [r.position for r in completed]
+        assert served_order == self.POSITIONS
+
+    def test_cscan_serves_ascending_then_wraps(self):
+        sim = Simulator()
+        disk = DiskScheduler(sim, policy=Policy.CSCAN)
+        requests = [disk.submit(p, 1000) for p in (500, 100, 700, 300, 900)]
+        disk.start()
+
+        def watcher():
+            for request in requests:
+                yield WaitEvent(request.done)
+
+        proc = sim.spawn(watcher())
+        sim.run_until_complete(proc)
+        order = sorted(requests, key=lambda r: r.completed_at)
+        # Head starts at 0: everything is 'ahead', so pure ascending order.
+        assert [r.position for r in order] == [100, 300, 500, 700, 900]
+        disk.stop()
+
+    def test_requests_submitted_while_busy(self):
+        sim = Simulator()
+        disk = DiskScheduler(sim, policy=Policy.CSCAN)
+        disk.start()
+        done = []
+
+        def early():
+            request = disk.submit(100, 1_000_000)
+            yield WaitEvent(request.done)
+            done.append("early")
+
+        def late():
+            yield Delay(0.005)  # arrives while the first transfer runs
+            request = disk.submit(50, 1_000_000)
+            yield WaitEvent(request.done)
+            done.append("late")
+
+        sim.spawn(early())
+        sim.spawn(late())
+        sim.run()
+        assert done == ["early", "late"]
+        disk.stop()
+
+    def test_validation(self):
+        sim = Simulator()
+        disk = DiskScheduler(sim)
+        with pytest.raises(StorageError):
+            disk.submit(-1, 100)
+        with pytest.raises(StorageError):
+            disk.submit(10**9, 100)
+        with pytest.raises(StorageError):
+            disk.submit(10, -5)
+        disk.start()
+        with pytest.raises(StorageError, match="already started"):
+            disk.start()
+        with pytest.raises(StorageError):
+            DiskScheduler(sim, cylinders=0)
+
+    def test_read_subroutine(self):
+        sim = Simulator()
+        disk = DiskScheduler(sim, policy=Policy.FCFS)
+        disk.start()
+
+        def client():
+            request = yield disk.read(200, 480_000)
+            return request
+
+        proc = sim.spawn(client())
+        request = sim.run_until_complete(proc)
+        assert request.completed_at > 0
+        # 200 cylinders * 20 µs + 480000/48e6 = 0.004 + 0.010
+        assert request.completed_at == pytest.approx(0.014)
+        disk.stop()

@@ -1,0 +1,135 @@
+"""Live sources: cameras and microphones (paper §4 footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.activities import ActivityGraph, ActivityState
+from repro.activities.library import Speaker, VideoEncoder, VideoWindow, VideoWriter
+from repro.activities.live import LiveCamera, LiveMicrophone
+from repro.avtime import WorldTime
+from repro.codecs import MPEGCodec
+from repro.errors import ActivityError, ActivityStateError
+from repro.sim import Delay
+
+
+class TestLiveCamera:
+    def test_bounded_recording(self, sim):
+        camera = LiveCamera(sim, width=32, height=24, rate=30.0, max_elements=10)
+        window = VideoWindow(sim)
+        graph = ActivityGraph(sim)
+        graph.add(camera)
+        graph.add(window)
+        graph.connect(camera.port("video_out"), window.port("video_in"))
+        graph.run_to_completion()
+        assert len(window.presented) == 10
+        # Frame counter burned in: frames really differ.
+        assert not np.array_equal(window.presented[0], window.presented[5])
+
+    def test_produces_in_real_time(self, sim):
+        camera = LiveCamera(sim, rate=30.0, max_elements=30)
+        writer = VideoWriter(sim, rate=30.0)
+        graph = ActivityGraph(sim)
+        graph.add(camera)
+        graph.add(writer)
+        graph.connect(camera.port("video_out"), writer.port("video_in"))
+        graph.run_to_completion()
+        # 30 frames at 30 fps: ~1 s of virtual time, no read-ahead possible.
+        assert sim.now.seconds == pytest.approx(29 / 30.0, abs=0.01)
+
+    def test_unbounded_until_stopped(self, sim):
+        camera = LiveCamera(sim, rate=30.0)  # no max_elements
+        window = VideoWindow(sim, keep_payloads=False)
+        graph = ActivityGraph(sim)
+        graph.add(camera)
+        graph.add(window)
+        graph.connect(camera.port("video_out"), window.port("video_in"))
+        graph.start_all()
+
+        def director():
+            yield Delay(0.5)
+            camera.stop()
+
+        sim.spawn(director())
+        graph.run()
+        assert camera.state is ActivityState.STOPPED
+        assert 10 <= camera.elements_produced <= 17
+
+    def test_cannot_bind_or_cue(self, sim, small_video):
+        camera = LiveCamera(sim)
+        with pytest.raises(ActivityStateError, match="no stored value"):
+            camera.bind(small_video)
+        with pytest.raises(ActivityStateError, match="no past"):
+            camera.cue(WorldTime(1.0))
+
+    def test_live_encode_to_storage(self, sim):
+        """Capture -> encode -> write: recording a live broadcast."""
+        codec = MPEGCodec(75, gop=5)
+        camera = LiveCamera(sim, width=32, height=24, rate=30.0, max_elements=12)
+        encoder = VideoEncoder(sim, codec)
+        writer = VideoWriter(sim, rate=30.0, codec=codec, geometry=(32, 24, 8))
+        graph = ActivityGraph(sim)
+        for activity in (camera, encoder, writer):
+            graph.add(activity)
+        graph.connect(camera.port("video_out"), encoder.port("video_in"))
+        graph.connect(encoder.port("video_out"), writer.port("video_in"))
+        graph.run_to_completion()
+        recording = writer.result()
+        assert recording.num_frames == 12
+        # The recording decodes to roughly the captured frames.
+        first = recording.frame(0)
+        assert first.shape == (24, 32)
+
+    def test_custom_capture_callback(self, sim):
+        frames_made = []
+
+        def capture(index):
+            frames_made.append(index)
+            return np.full((24, 32), index, dtype=np.uint8)
+
+        camera = LiveCamera(sim, width=32, height=24, capture=capture,
+                            max_elements=5)
+        window = VideoWindow(sim)
+        graph = ActivityGraph(sim)
+        graph.add(camera)
+        graph.add(window)
+        graph.connect(camera.port("video_out"), window.port("video_in"))
+        graph.run_to_completion()
+        assert frames_made == [0, 1, 2, 3, 4]
+        assert int(window.presented[3][0, 0]) == 3
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ActivityError):
+            LiveCamera(sim, rate=0.0)
+        with pytest.raises(ActivityError):
+            LiveCamera(sim, max_elements=0)
+
+
+class TestLiveMicrophone:
+    def test_bounded_capture(self, sim):
+        microphone = LiveMicrophone(sim, sample_rate=8000.0, block_samples=512,
+                                    max_elements=8)
+        speaker = Speaker(sim)
+        graph = ActivityGraph(sim)
+        graph.add(microphone)
+        graph.add(speaker)
+        graph.connect(microphone.port("audio_out"), speaker.port("audio_in"))
+        graph.run_to_completion()
+        pcm = speaker.pcm()
+        assert pcm.shape == (1, 8 * 512)
+        assert np.abs(pcm).max() > 1000  # the default tone is audible
+
+    def test_capture_is_continuous_across_blocks(self, sim):
+        """Adjacent blocks continue the same waveform (no phase reset)."""
+        microphone = LiveMicrophone(sim, sample_rate=8000.0, block_samples=256,
+                                    max_elements=4)
+        speaker = Speaker(sim)
+        graph = ActivityGraph(sim)
+        graph.add(microphone)
+        graph.add(speaker)
+        graph.connect(microphone.port("audio_out"), speaker.port("audio_in"))
+        graph.run_to_completion()
+        pcm = speaker.pcm()[0].astype(np.float64)
+        # A 440 Hz tone has no discontinuities: the max sample-to-sample
+        # jump stays below the sinusoid's own maximum slope (~0.35 amp).
+        max_jump = np.abs(np.diff(pcm)).max()
+        assert max_jump < 0.40 * np.abs(pcm).max()

@@ -1,0 +1,68 @@
+"""Playback-rate manipulation: Scale/Translate driving real playback.
+
+The paper's MediaValue methods aren't just metadata — a scaled value
+plays back slower/faster through the same activities, and a translated
+value starts later on the shared timeline."""
+
+import numpy as np
+import pytest
+
+from repro.activities import ActivityGraph
+from repro.activities.library import VideoReader, VideoWindow
+from repro.avtime import WorldTime
+
+
+def play(sim, value):
+    graph = ActivityGraph(sim)
+    reader = graph.add(VideoReader(sim))
+    reader.bind(value)
+    window = graph.add(VideoWindow(sim))
+    graph.connect(reader.port("video_out"), window.port("video_in"))
+    graph.run_to_completion()
+    return window
+
+
+class TestScaledPlayback:
+    def test_slow_motion_takes_twice_as_long(self, sim, small_video):
+        window = play(sim, small_video.scale(2.0))
+        # 10 frames at effective 15 fps: last frame at 9/15 s.
+        assert sim.now.seconds == pytest.approx(9 / 15.0)
+        assert len(window.presented) == small_video.num_frames
+
+    def test_fast_forward(self, sim, small_video):
+        window = play(sim, small_video.scale(0.5))
+        assert sim.now.seconds == pytest.approx(9 / 60.0)
+        assert len(window.presented) == small_video.num_frames
+
+    def test_same_frames_any_speed(self, small_video):
+        from repro.sim import Simulator
+        s1, s2 = Simulator(), Simulator()
+        normal = play(s1, small_video)
+        slow = play(s2, small_video.scale(3.0))
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(normal.presented, slow.presented))
+
+    def test_translated_value_starts_late(self, sim, small_video):
+        window = play(sim, small_video.translate(WorldTime(2.0)))
+        first = window.log.records[0].actual.seconds
+        assert first == pytest.approx(2.0)
+
+    def test_scale_then_translate_composes(self, sim, small_video):
+        value = small_video.scale(2.0).translate(WorldTime(1.0))
+        window = play(sim, value)
+        first = window.log.records[0].actual.seconds
+        last = window.log.records[-1].actual.seconds
+        assert first == pytest.approx(1.0)
+        assert last == pytest.approx(1.0 + 9 / 15.0)
+
+    def test_cue_respects_scaled_timebase(self, sim, small_video):
+        """Cueing a half-speed value to 0.4 s lands on frame 6, not 12."""
+        graph = ActivityGraph(sim)
+        reader = graph.add(VideoReader(sim))
+        reader.bind(small_video.scale(2.0))  # 15 fps effective
+        reader.cue(WorldTime(0.4))
+        window = graph.add(VideoWindow(sim))
+        graph.connect(reader.port("video_out"), window.port("video_in"))
+        graph.run_to_completion()
+        assert len(window.presented) == small_video.num_frames - 6
+        assert np.array_equal(window.presented[0], small_video.frame(6))

@@ -1,0 +1,148 @@
+"""Query-by-example similarity retrieval (the REDI design of §2)."""
+
+import numpy as np
+import pytest
+
+from repro.db import AttributeSpec, ClassDef, Database
+from repro.errors import DatabaseError, DataModelError
+from repro.retrieval import (
+    FeatureIndex,
+    SimilarityRetrieval,
+    clip_features,
+    frame_features,
+)
+from repro.synth import flat_video, moving_scene, noise_video
+from repro.values import VideoValue
+
+
+class TestFeatures:
+    def test_histogram_normalized(self, gradient_frame):
+        features = frame_features(gradient_frame)
+        assert sum(features.histogram) == pytest.approx(1.0)
+        assert 0.0 <= features.mean <= 1.0
+        assert features.variance >= 0.0
+
+    def test_identical_frames_distance_zero(self, gradient_frame):
+        a = frame_features(gradient_frame)
+        b = frame_features(gradient_frame.copy())
+        assert a.distance(b) == pytest.approx(0.0)
+
+    def test_different_content_distance_positive(self):
+        flat = frame_features(np.full((24, 32), 128, dtype=np.uint8))
+        noisy = frame_features(
+            np.random.default_rng(0).integers(0, 255, (24, 32), dtype=np.uint8)
+        )
+        assert flat.distance(noisy) > 0.5
+
+    def test_distance_symmetric(self, gradient_frame):
+        other = np.roll(gradient_frame, 5, axis=1)
+        a, b = frame_features(gradient_frame), frame_features(other)
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+    def test_size_invariance(self):
+        """The same content at different resolutions has small distance."""
+        small = flat_video(1, 32, 24, level=100).frame(0)
+        large = flat_video(1, 128, 96, level=100).frame(0)
+        assert frame_features(small).distance(frame_features(large)) < 0.05
+
+    def test_clip_features_sampling(self, small_video):
+        every = clip_features(small_video, sample_every=1)
+        sampled = clip_features(small_video, sample_every=5)
+        assert every.distance(sampled) < 0.3  # sampling approximates
+        with pytest.raises(DataModelError):
+            clip_features(small_video, sample_every=0)
+
+    def test_rgb_frames_supported(self):
+        rgb = moving_scene(2, 32, 24, color=True).frame(0)
+        features = frame_features(rgb)
+        assert sum(features.histogram) == pytest.approx(1.0)
+
+
+class TestFeatureIndex:
+    def test_rank_orders_by_distance(self, gradient_frame):
+        from repro.db.objects import OID
+        index = FeatureIndex()
+        index.insert(OID("V", 1), "video", frame_features(gradient_frame))
+        index.insert(OID("V", 2), "video",
+                     frame_features(np.zeros((24, 32), dtype=np.uint8)))
+        matches = index.rank(frame_features(gradient_frame))
+        assert matches[0].ref == OID("V", 1)
+        assert matches[0].distance < matches[1].distance
+
+    def test_duplicate_insert_rejected(self, gradient_frame):
+        from repro.db.objects import OID
+        index = FeatureIndex()
+        features = frame_features(gradient_frame)
+        index.insert(OID("V", 1), "video", features)
+        with pytest.raises(DatabaseError, match="already indexed"):
+            index.insert(OID("V", 1), "video", features)
+
+    def test_remove(self, gradient_frame):
+        from repro.db.objects import OID
+        index = FeatureIndex()
+        index.insert(OID("V", 1), "video", frame_features(gradient_frame))
+        index.remove(OID("V", 1), "video")
+        assert len(index) == 0
+        with pytest.raises(DatabaseError):
+            index.remove(OID("V", 1), "video")
+
+
+class TestQueryByExample:
+    @pytest.fixture
+    def retrieval(self):
+        db = Database()
+        db.define_class(ClassDef("Footage", attributes=[
+            AttributeSpec("title", str, indexed=True),
+            AttributeSpec("video", VideoValue),
+        ]))
+        retrieval = SimilarityRetrieval(db, sample_every=2)
+        self.clips = {
+            "scene-a": moving_scene(8, 48, 36, seed=1),
+            "scene-b": moving_scene(8, 48, 36, seed=2),
+            "flat": flat_video(8, 48, 36, level=40),
+            "noise": noise_video(8, 48, 36, seed=3),
+        }
+        self.refs = {}
+        for title, video in self.clips.items():
+            ref = db.insert("Footage", title=title, video=video)
+            retrieval.ingest(ref, "video")
+            self.refs[title] = ref
+        return retrieval
+
+    def test_example_clip_finds_itself_first(self, retrieval):
+        matches = retrieval.query_by_example(self.clips["flat"], limit=4)
+        assert matches[0].ref == self.refs["flat"]
+        assert matches[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_similar_scene_ranks_above_dissimilar(self, retrieval):
+        # A third moving scene resembles the other moving scenes more
+        # than flat or noise content.
+        example = moving_scene(8, 48, 36, seed=9)
+        matches = retrieval.query_by_example(example, limit=4)
+        top_two = {m.ref for m in matches[:2]}
+        assert top_two == {self.refs["scene-a"], self.refs["scene-b"]}
+
+    def test_example_frame_array_works(self, retrieval):
+        frame = self.clips["noise"].frame(0)
+        matches = retrieval.query_by_example(frame, limit=1)
+        assert matches[0].ref == self.refs["noise"]
+
+    def test_returns_references_not_media(self, retrieval):
+        matches = retrieval.query_by_example(self.clips["flat"], limit=2)
+        from repro.db.objects import OID
+        assert all(isinstance(m.ref, OID) for m in matches)
+
+    def test_limit_respected(self, retrieval):
+        assert len(retrieval.query_by_example(self.clips["flat"], limit=2)) == 2
+        with pytest.raises(DatabaseError):
+            retrieval.query_by_example(self.clips["flat"], limit=0)
+
+    def test_ingest_non_video_rejected(self, retrieval):
+        ref = retrieval.db.insert("Footage", title="no video")
+        with pytest.raises(DataModelError):
+            retrieval.ingest(ref, "video")
+
+    def test_forget(self, retrieval):
+        retrieval.forget(self.refs["noise"], "video")
+        matches = retrieval.query_by_example(self.clips["noise"], limit=4)
+        assert all(m.ref != self.refs["noise"] for m in matches)

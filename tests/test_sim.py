@@ -1,0 +1,250 @@
+"""The DES kernel: delays, events, subroutines, resources, determinism."""
+
+import pytest
+
+from repro.avtime import WorldTime
+from repro.errors import SimulationError
+from repro.sim import (
+    Acquire,
+    Delay,
+    Release,
+    SimResource,
+    Simulator,
+    WaitEvent,
+    WaitProcess,
+)
+
+
+class TestDelays:
+    def test_delay_advances_clock(self, sim):
+        log = []
+
+        def proc():
+            yield Delay(1.5)
+            log.append(sim.now.seconds)
+            yield Delay(0.5)
+            log.append(sim.now.seconds)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [1.5, 2.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-1.0)
+
+    def test_run_until_limit(self, sim):
+        ticks = []
+
+        def ticker():
+            for _ in range(100):
+                yield Delay(1.0)
+                ticks.append(sim.now.seconds)
+
+        sim.spawn(ticker())
+        end = sim.run(until=WorldTime(5.5))
+        assert end == WorldTime(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_zero_delay_keeps_fifo_order(self, sim):
+        order = []
+
+        def make(name):
+            def proc():
+                yield Delay(0.0)
+                order.append(name)
+            return proc()
+
+        for name in "abc":
+            sim.spawn(make(name))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_trigger_wakes_waiter_with_payload(self, sim):
+        event = sim.event("go")
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(event)
+            got.append((payload, sim.now.seconds))
+
+        def firer():
+            yield Delay(2.0)
+            event.trigger("hello")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert got == [("hello", 2.0)]
+
+    def test_late_waiter_resumes_immediately(self, sim):
+        event = sim.event()
+        event.trigger(42)
+        got = []
+
+        def late():
+            value = yield WaitEvent(event)
+            got.append(value)
+
+        sim.spawn(late())
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+
+class TestProcesses:
+    def test_wait_process_gets_return_value(self, sim):
+        def worker():
+            yield Delay(1.0)
+            return "result"
+
+        def waiter(proc):
+            value = yield WaitProcess(proc)
+            return value
+
+        worker_proc = sim.spawn(worker())
+        waiter_proc = sim.spawn(waiter(worker_proc))
+        assert sim.run_until_complete(waiter_proc) == "result"
+
+    def test_subroutine_generators(self, sim):
+        def helper(n):
+            yield Delay(n)
+            return n * 2
+
+        def main():
+            a = yield helper(1.0)
+            b = yield helper(2.0)
+            return a + b
+
+        proc = sim.spawn(main())
+        assert sim.run_until_complete(proc) == 6
+        assert sim.now.seconds == 3.0
+
+    def test_process_error_propagates_from_run(self, sim):
+        def bad():
+            yield Delay(1.0)
+            raise ValueError("boom")
+
+        sim.spawn(bad())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_unsupported_yield_is_error(self, sim):
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="unsupported command"):
+            sim.run()
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+    def test_deadlock_detected_by_run_until_complete(self, sim):
+        event = sim.event()
+
+        def stuck():
+            yield WaitEvent(event)
+
+        proc = sim.spawn(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(proc)
+
+
+class TestScheduleAt:
+    def test_callable_runs_at_time(self, sim):
+        fired = []
+        sim.schedule_at(WorldTime(3.0), lambda: fired.append(sim.now.seconds))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.schedule_at(WorldTime(1.0), lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(WorldTime(0.5), lambda: None)
+
+
+class TestResources:
+    def test_capacity_enforced_with_queueing(self, sim):
+        resource = SimResource(sim, capacity=1, name="device")
+        order = []
+
+        def user(name, hold):
+            yield Acquire(resource)
+            order.append((name, "got", sim.now.seconds))
+            yield Delay(hold)
+            yield Release(resource)
+
+        sim.spawn(user("a", 2.0))
+        sim.spawn(user("b", 1.0))
+        sim.run()
+        assert order == [("a", "got", 0.0), ("b", "got", 2.0)]
+        assert resource.wait_count == 1
+
+    def test_multi_unit_acquire(self, sim):
+        resource = SimResource(sim, capacity=3)
+        got = []
+
+        def user(units, hold):
+            yield Acquire(resource, units)
+            got.append((units, sim.now.seconds))
+            yield Delay(hold)
+            yield Release(resource, units)
+
+        sim.spawn(user(2, 1.0))
+        sim.spawn(user(2, 1.0))  # must wait for first
+        sim.run()
+        assert got == [(2, 0.0), (2, 1.0)]
+
+    def test_over_capacity_acquire_rejected(self, sim):
+        resource = SimResource(sim, capacity=2)
+
+        def greedy():
+            yield Acquire(resource, 3)
+
+        sim.spawn(greedy())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_release_more_than_held_rejected(self, sim):
+        resource = SimResource(sim, capacity=2)
+
+        def bad():
+            yield Acquire(resource, 1)
+            yield Release(resource, 2)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            SimResource(sim, capacity=0)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            simulator = Simulator()
+            trace = []
+
+            def proc(name, period):
+                for _ in range(5):
+                    yield Delay(period)
+                    trace.append((name, simulator.now.seconds))
+
+            simulator.spawn(proc("x", 0.3))
+            simulator.spawn(proc("y", 0.5))
+            simulator.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

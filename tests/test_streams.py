@@ -1,0 +1,232 @@
+"""Stream machinery: buffers with backpressure, presentation logs,
+skew computation, jitter models and resynchronization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.avtime import WorldTime
+from repro.errors import SimulationError, TemporalError
+from repro.sim import Delay
+from repro.streams import (
+    NoJitter,
+    PresentationLog,
+    RandomWalkJitter,
+    Resynchronizer,
+    StreamBuffer,
+    SyncGroup,
+    skew_between,
+)
+
+
+class TestStreamBuffer:
+    def test_fifo_order(self, sim):
+        buffer = StreamBuffer(sim, capacity=4)
+        received = []
+
+        def producer():
+            for i in range(6):
+                yield from buffer.put(i)
+
+        def consumer():
+            for _ in range(6):
+                item = yield from buffer.get()
+                received.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == list(range(6))
+
+    def test_producer_blocks_when_full(self, sim):
+        buffer = StreamBuffer(sim, capacity=2)
+        produced_at = []
+
+        def producer():
+            for i in range(4):
+                yield from buffer.put(i)
+                produced_at.append(sim.now.seconds)
+
+        def slow_consumer():
+            for _ in range(4):
+                yield Delay(1.0)
+                yield from buffer.get()
+
+        sim.spawn(producer())
+        sim.spawn(slow_consumer())
+        sim.run()
+        # First two go immediately; the rest wait for consumption slots.
+        assert produced_at[0] == 0.0 and produced_at[1] == 0.0
+        assert produced_at[2] >= 1.0 and produced_at[3] >= 2.0
+        assert buffer.producer_stalls >= 2
+
+    def test_consumer_blocks_when_empty(self, sim):
+        buffer = StreamBuffer(sim, capacity=2)
+        got_at = []
+
+        def consumer():
+            item = yield from buffer.get()
+            got_at.append((item, sim.now.seconds))
+
+        def late_producer():
+            yield Delay(3.0)
+            yield from buffer.put("x")
+
+        sim.spawn(consumer())
+        sim.spawn(late_producer())
+        sim.run()
+        assert got_at == [("x", 3.0)]
+        assert buffer.consumer_stalls == 1
+
+    def test_high_watermark(self, sim):
+        buffer = StreamBuffer(sim, capacity=8)
+
+        def producer():
+            for i in range(5):
+                yield from buffer.put(i)
+
+        sim.spawn(producer())
+        sim.run()
+        assert buffer.high_watermark == 5
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            StreamBuffer(sim, capacity=0)
+
+
+class TestPresentationLog:
+    def make_log(self, latencies):
+        log = PresentationLog("test")
+        for i, latency in enumerate(latencies):
+            ideal = WorldTime(i * 0.1)
+            log.record(i, ideal, ideal + WorldTime(latency))
+        return log
+
+    def test_latency_statistics(self):
+        log = self.make_log([0.01, 0.03, 0.02])
+        assert log.mean_latency() == pytest.approx(0.02)
+        assert log.max_latency() == pytest.approx(0.03)
+        assert log.jitter() == pytest.approx(0.02)
+
+    def test_empty_log_raises(self):
+        log = PresentationLog("empty")
+        with pytest.raises(TemporalError):
+            log.mean_latency()
+
+    def test_interarrival_stddev_zero_for_uniform(self):
+        log = self.make_log([0.0] * 10)
+        assert log.interarrival_stddev() == pytest.approx(0.0)
+
+    def test_skew_between_identical_logs_is_zero(self):
+        a = self.make_log([0.05] * 10)
+        b = self.make_log([0.05] * 10)
+        assert max(abs(s) for s in skew_between(a, b)) == pytest.approx(0.0)
+
+    def test_skew_detects_drift(self):
+        a = self.make_log([0.001 * i for i in range(20)])  # drifting
+        b = self.make_log([0.0] * 20)  # on time
+        series = skew_between(a, b)
+        assert series[-1] > series[0]
+        assert max(series) > 0.01
+
+    def test_skew_requires_overlap(self):
+        a = self.make_log([0.0] * 5)
+        b = PresentationLog("later")
+        b.record(0, WorldTime(100.0), WorldTime(100.0))
+        with pytest.raises(TemporalError, match="overlap"):
+            skew_between(a, b)
+
+    def test_shared_latency_cancels_in_skew(self):
+        """Skew measures relative drift, not absolute delay."""
+        a = self.make_log([0.5] * 10)
+        b = self.make_log([0.5] * 10)
+        assert max(abs(s) for s in skew_between(a, b)) == pytest.approx(0.0)
+
+
+class TestJitterModels:
+    def test_no_jitter_is_zero(self):
+        model = NoJitter()
+        assert all(model.offset(i) == 0.0 for i in range(10))
+
+    def test_random_walk_is_deterministic_per_seed(self):
+        def walk(seed):
+            model = RandomWalkJitter(seed=seed)
+            return [model.offset(i) for i in range(50)]
+
+        assert walk(7) == walk(7)
+        assert walk(7) != walk(8)
+
+    def test_random_walk_accumulates_with_bias(self):
+        model = RandomWalkJitter(step=0.01, bias=2.0, seed=1)
+        early = [model.offset(i) for i in range(10)]
+        late = [model.offset(i) for i in range(200, 210)]
+        assert sum(late) > sum(early)  # upward drift
+
+    def test_drift_bounded_by_ceiling(self):
+        model = RandomWalkJitter(step=0.1, bias=5.0, ceiling=0.3, seed=2)
+        offsets = [model.offset(i) for i in range(500)]
+        assert max(offsets) <= 0.3
+        assert min(offsets) >= 0.0
+
+    def test_reset_drift(self):
+        model = RandomWalkJitter(step=0.05, bias=3.0, seed=3)
+        for i in range(50):
+            model.offset(i)
+        assert model.drift > 0
+        model.reset_drift()
+        assert model.drift == 0.0
+
+
+class TestResynchronizer:
+    def test_resync_every_interval(self):
+        resync = Resynchronizer(interval=10)
+        model = RandomWalkJitter(step=0.05, bias=3.0, seed=4)
+        max_with_resync = 0.0
+        for i in range(100):
+            resync.maybe_resync(i, model)
+            max_with_resync = max(max_with_resync, model.offset(i))
+        assert resync.resync_count == 9
+        # Without resync the same walk drifts much further.
+        unsynced = RandomWalkJitter(step=0.05, bias=3.0, seed=4)
+        max_unsynced = max(unsynced.offset(i) for i in range(100))
+        assert max_with_resync < max_unsynced
+
+    def test_invalid_interval(self):
+        with pytest.raises(TemporalError):
+            Resynchronizer(interval=0)
+
+
+class TestSyncGroup:
+    def test_skew_is_spread_of_drifts(self):
+        group = SyncGroup()
+        group.register("video")
+        group.register("audio")
+        group.report("video", 0.08)
+        group.report("audio", 0.02)
+        assert group.current_skew() == pytest.approx(0.06)
+        # History includes the instant after the first report, when audio
+        # still sat at drift 0 (spread 0.08).
+        assert group.max_skew() == pytest.approx(0.08)
+
+    def test_duplicate_member_rejected(self):
+        group = SyncGroup()
+        group.register("a")
+        with pytest.raises(TemporalError):
+            group.register("a")
+
+    def test_unknown_member_report_rejected(self):
+        group = SyncGroup()
+        with pytest.raises(TemporalError):
+            group.report("ghost", 0.1)
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=20))
+    @settings(max_examples=30)
+    def test_max_skew_monotone_nondecreasing(self, drifts):
+        group = SyncGroup()
+        group.register("a")
+        group.register("b")
+        previous = 0.0
+        for drift in drifts:
+            group.report("a", drift)
+            current = group.max_skew()
+            assert current >= previous - 1e-12
+            previous = current

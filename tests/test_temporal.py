@@ -1,0 +1,218 @@
+"""Temporal composition: tcomp specs, timelines (Fig. 1), composites."""
+
+import pytest
+
+from repro.avtime import AllenRelation, WorldTime
+from repro.errors import SchemaError, TemporalError
+from repro.synth import NEWSCAST_CLIP_SPEC, fig1_timeline, newscast_clip, moving_scene, tone
+from repro.temporal import TCompSpec, TemporalComposite, Timeline, TrackSpec
+from repro.values.mediatype import standard_type
+
+
+class TestTrackSpec:
+    def test_accepts_by_media_type(self):
+        spec = TrackSpec("videoTrack", standard_type("video/*"))
+        assert spec.accepts_value(moving_scene(2))
+        assert not spec.accepts_value(tone(0.1))
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            TrackSpec("bad name", standard_type("video/*"))
+
+
+class TestTCompSpec:
+    def test_newscast_spec_shape(self):
+        """The paper's Newscast tcomp: 4 tracks."""
+        assert NEWSCAST_CLIP_SPEC.name == "clip"
+        assert NEWSCAST_CLIP_SPEC.track_names == (
+            "videoTrack", "englishTrack", "frenchTrack", "subtitleTrack",
+        )
+
+    def test_duplicate_tracks_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TCompSpec("t", (
+                TrackSpec("a", standard_type("video/*")),
+                TrackSpec("a", standard_type("audio/*")),
+            ))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError, match="no tracks"):
+            TCompSpec("t", ())
+
+    def test_validate_values_full_checks(self):
+        video, audio = moving_scene(2), tone(0.1)
+        spec = TCompSpec("t", (
+            TrackSpec("v", standard_type("video/*")),
+            TrackSpec("a", standard_type("audio/*")),
+        ))
+        spec.validate_values({"v": video, "a": audio})
+        with pytest.raises(TemporalError, match="missing"):
+            spec.validate_values({"v": video})
+        with pytest.raises(SchemaError, match="unknown"):
+            spec.validate_values({"v": video, "a": audio, "x": audio})
+        with pytest.raises(SchemaError, match="requires"):
+            spec.validate_values({"v": audio, "a": video})
+
+
+class TestTimeline:
+    def test_fig1_shape(self):
+        """Fig. 1: videoTrack spans [t0,t1); the other tracks [t1,t2)."""
+        timeline = fig1_timeline(t0=0.0, t1=1.0, t2=3.0)
+        assert timeline.relation("videoTrack", "englishTrack") is AllenRelation.MEETS
+        assert timeline.relation("englishTrack", "frenchTrack") is AllenRelation.EQUALS
+        assert timeline.duration == WorldTime(3.0)
+        assert not timeline.simultaneous("videoTrack", "subtitleTrack")
+
+    def test_render_ascii_reproduces_fig1(self):
+        art = fig1_timeline().render_ascii(width=30)
+        lines = art.splitlines()
+        assert len(lines) == 5  # 4 tracks + axis
+        video_bar = lines[0]
+        english_bar = lines[1]
+        # Video bar starts at the left; english bar starts later.
+        assert video_bar.index("=") < english_bar.index("=")
+
+    def test_duplicate_track_rejected(self):
+        timeline = Timeline()
+        timeline.place("a", WorldTime(0.0), WorldTime(1.0))
+        with pytest.raises(TemporalError, match="already placed"):
+            timeline.place("a", WorldTime(1.0), WorldTime(1.0))
+
+    def test_active_at(self):
+        timeline = fig1_timeline(0.0, 1.0, 3.0)
+        assert [e.track for e in timeline.active_at(WorldTime(0.5))] == ["videoTrack"]
+        active_late = {e.track for e in timeline.active_at(WorldTime(2.0))}
+        assert active_late == {"englishTrack", "frenchTrack", "subtitleTrack"}
+
+    def test_shift_and_scale(self):
+        timeline = fig1_timeline(0.0, 1.0, 3.0)
+        shifted = timeline.shifted(WorldTime(10.0))
+        assert shifted.entry("videoTrack").start == WorldTime(10.0)
+        scaled = timeline.scaled(2.0)
+        assert scaled.duration == WorldTime(6.0)
+        assert scaled.entry("englishTrack").start == WorldTime(2.0)
+
+    def test_empty_timeline_has_no_span(self):
+        with pytest.raises(TemporalError):
+            Timeline().span()
+
+    def test_unknown_track(self):
+        with pytest.raises(TemporalError):
+            fig1_timeline().entry("audioTrack")
+
+
+class TestTemporalComposite:
+    def test_default_timeline_from_value_intervals(self, clip):
+        assert set(clip.timeline.tracks) == set(clip.track_names)
+        assert clip.duration.seconds > 0
+
+    def test_attribute_style_track_access(self, clip):
+        assert clip.videoTrack is clip.value("videoTrack")
+        with pytest.raises(AttributeError):
+            clip.nonexistentTrack
+
+    def test_active_tracks(self):
+        clip = newscast_clip(video_frames=30, audio_seconds=2.0,
+                             video_delay_s=2.0)
+        # Video delayed 2s: at t=0.5 only audio/subtitles play.
+        active = set(clip.active_tracks(WorldTime(0.5)))
+        assert "videoTrack" not in active
+        assert "englishTrack" in active
+        assert "videoTrack" in clip.active_tracks(WorldTime(2.5))
+
+    def test_translate_preserves_correlation(self, clip):
+        moved = clip.translate(WorldTime(5.0))
+        for track in clip.track_names:
+            delta = moved.value(track).start - clip.value(track).start
+            assert delta == WorldTime(5.0)
+        assert moved.duration.seconds == pytest.approx(clip.duration.seconds)
+
+    def test_scale_stretches_everything(self, clip):
+        slow = clip.scale(2.0)
+        assert slow.duration.seconds == pytest.approx(clip.duration.seconds * 2)
+        for track in clip.track_names:
+            assert slow.value(track).duration.seconds == pytest.approx(
+                clip.value(track).duration.seconds * 2
+            )
+
+    def test_validate_alignment_detects_mismatch(self, clip):
+        clip.validate_alignment()  # default timeline always aligns
+        from repro.temporal import Timeline, TimelineEntry
+        from repro.avtime import Interval
+        bad_timeline = Timeline([
+            TimelineEntry(t, Interval(WorldTime(9.0), WorldTime(1.0)))
+            for t in clip.track_names
+        ])
+        bad = TemporalComposite(clip.spec, dict(clip), bad_timeline)
+        with pytest.raises(TemporalError, match="does not match"):
+            bad.validate_alignment()
+
+    def test_timeline_track_mismatch_rejected(self, clip):
+        partial = Timeline()
+        partial.place("videoTrack", WorldTime(0.0), WorldTime(1.0))
+        with pytest.raises(TemporalError, match="does not place"):
+            TemporalComposite(clip.spec, dict(clip), partial)
+
+
+class TestRelativePlacement:
+    def anchor_timeline(self):
+        timeline = Timeline()
+        timeline.place("video", WorldTime(2.0), WorldTime(4.0))  # [2, 6)
+        return timeline
+
+    @pytest.mark.parametrize("relation", [
+        AllenRelation.BEFORE, AllenRelation.AFTER, AllenRelation.MEETS,
+        AllenRelation.MET_BY, AllenRelation.STARTS, AllenRelation.FINISHES,
+        AllenRelation.DURING, AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+    ])
+    def test_achieved_relation_matches_request(self, relation):
+        timeline = self.anchor_timeline()
+        timeline.place_relative("other", relation, "video", WorldTime(1.0))
+        assert timeline.relation("other", "video") is relation
+
+    def test_equals_and_contains(self):
+        timeline = self.anchor_timeline()
+        timeline.place_relative("same", AllenRelation.EQUALS, "video",
+                                WorldTime(4.0))
+        assert timeline.relation("same", "video") is AllenRelation.EQUALS
+        timeline.place_relative("outer", AllenRelation.CONTAINS, "video",
+                                WorldTime(6.0))
+        assert timeline.relation("outer", "video") is AllenRelation.CONTAINS
+
+    def test_met_by_concrete_position(self):
+        """'Subtitles start when the video ends' — the Fig. 1 shape."""
+        timeline = self.anchor_timeline()
+        entry = timeline.place_relative("subtitles", AllenRelation.MET_BY,
+                                        "video", WorldTime(2.0))
+        assert entry.start == WorldTime(6.0)
+        assert entry.end == WorldTime(8.0)
+
+    def test_impossible_placement_rejected(self):
+        timeline = self.anchor_timeline()
+        # DURING with a duration longer than the anchor cannot hold.
+        with pytest.raises(TemporalError, match="cannot place"):
+            timeline.place_relative("too_long", AllenRelation.DURING,
+                                    "video", WorldTime(10.0))
+
+    def test_contains_needs_longer_duration(self):
+        timeline = self.anchor_timeline()
+        with pytest.raises(TemporalError, match="cannot place"):
+            timeline.place_relative("too_short", AllenRelation.CONTAINS,
+                                    "video", WorldTime(1.0))
+
+    def test_reference_must_exist(self):
+        timeline = Timeline()
+        with pytest.raises(TemporalError, match="no track"):
+            timeline.place_relative("x", AllenRelation.MEETS, "ghost",
+                                    WorldTime(1.0))
+
+    def test_offset_controls_overlap_amount(self):
+        timeline = self.anchor_timeline()
+        entry = timeline.place_relative(
+            "lead_in", AllenRelation.OVERLAPS, "video",
+            WorldTime(2.0), offset=WorldTime(0.5),
+        )
+        # Starts 0.5 s before the anchor, overlapping its first 1.5 s.
+        assert entry.start == WorldTime(1.5)
+        assert timeline.relation("lead_in", "video") is AllenRelation.OVERLAPS

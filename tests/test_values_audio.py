@@ -1,0 +1,111 @@
+"""AudioValue hierarchy, including CD audio and the encoded classes."""
+
+import numpy as np
+import pytest
+
+from repro.avtime import WorldTime
+from repro.codecs import ADPCMCodec, MuLawCodec
+from repro.errors import DataModelError
+from repro.values import ADPCMAudioValue, MuLawAudioValue, RawAudioValue
+
+
+def sine(n=4000, rate=8000.0, channels=1):
+    t = np.arange(n) / rate
+    pcm = np.round(9000 * np.sin(2 * np.pi * 440 * t)).astype(np.int16)
+    return np.tile(pcm, (channels, 1))
+
+
+class TestRawAudioValue:
+    def test_paper_attributes(self):
+        value = RawAudioValue(sine(channels=2), sample_rate=8000.0)
+        assert value.num_channels == 2
+        assert value.num_samples == 4000
+        assert value.depth == 16
+        assert value.sample_rate == 8000.0
+
+    def test_mono_1d_promotion(self):
+        value = RawAudioValue(np.zeros(100, dtype=np.int16))
+        assert value.num_channels == 1
+        assert value.num_samples == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataModelError):
+            RawAudioValue(np.zeros((1, 0), dtype=np.int16))
+        with pytest.raises(DataModelError):
+            RawAudioValue(np.zeros((1, 2, 3), dtype=np.int16))
+
+    def test_duration(self):
+        value = RawAudioValue(sine(8000), sample_rate=8000.0)
+        assert value.duration == WorldTime(1.0)
+
+    def test_cd_audio_constructor(self):
+        value = RawAudioValue.cd_audio(sine(1000, channels=2))
+        assert value.media_type.name == "audio/cd"
+        assert value.sample_rate == 44100.0
+        with pytest.raises(DataModelError, match="2 channels"):
+            RawAudioValue.cd_audio(sine(1000, channels=1))
+
+    def test_cd_data_rate_matches_spec(self):
+        """CD audio: stereo 16-bit at 44.1 kHz = 1.4112 Mb/s (§3.1)."""
+        value = RawAudioValue.cd_audio(sine(44100, channels=2))
+        assert value.data_rate_bps() == pytest.approx(44100 * 2 * 16, rel=1e-6)
+
+    def test_element_payload_is_sample_frame(self):
+        value = RawAudioValue(sine(100, channels=2), sample_rate=8000.0)
+        frame = value.element_payload(10)
+        assert frame.shape == (2,)
+
+    def test_sample_slice_bounds(self):
+        value = RawAudioValue(sine(100), sample_rate=8000.0)
+        assert value.sample_slice(10, 20).shape == (1, 20)
+        with pytest.raises(DataModelError):
+            value.sample_slice(90, 20)
+        with pytest.raises(DataModelError):
+            value.sample_slice(-1, 5)
+
+    def test_scale_translate_share_samples(self):
+        value = RawAudioValue(sine(), sample_rate=8000.0)
+        shifted = value.translate(WorldTime(2.0))
+        assert shifted.start == WorldTime(2.0)
+        assert shifted.samples() is value.samples()
+
+
+class TestEncodedAudio:
+    def test_mulaw_roundtrip_quality(self):
+        raw = RawAudioValue(sine(), sample_rate=8000.0)
+        encoded = MuLawCodec().encode_value(raw)
+        assert isinstance(encoded, MuLawAudioValue)
+        assert encoded.media_type.name == "audio/mulaw"
+        assert encoded.num_samples == raw.num_samples
+        error = np.abs(encoded.samples().astype(int) - raw.samples().astype(int))
+        assert error.mean() < 200  # companding noise, not garbage
+        assert encoded.compression_ratio() == pytest.approx(2.0, rel=0.01)
+
+    def test_adpcm_roundtrip_quality(self):
+        raw = RawAudioValue(sine(), sample_rate=8000.0)
+        encoded = ADPCMCodec().encode_value(raw)
+        assert isinstance(encoded, ADPCMAudioValue)
+        error = np.abs(encoded.samples().astype(int) - raw.samples().astype(int))
+        assert error.mean() < 500
+        assert encoded.compression_ratio() > 3.0
+
+    def test_encoded_duration_matches_raw(self):
+        raw = RawAudioValue(sine(8000), sample_rate=8000.0)
+        encoded = MuLawCodec().encode_value(raw)
+        assert encoded.duration == raw.duration
+
+    def test_stereo_encoded_roundtrip(self):
+        raw = RawAudioValue(sine(2000, channels=2), sample_rate=8000.0)
+        encoded = ADPCMCodec().encode_value(raw)
+        assert encoded.samples().shape == (2, 2000)
+
+    def test_decode_is_cached(self):
+        raw = RawAudioValue(sine(), sample_rate=8000.0)
+        encoded = MuLawCodec().encode_value(raw)
+        assert encoded.samples() is encoded.samples()
+
+    def test_encoded_data_smaller(self):
+        raw = RawAudioValue(sine(), sample_rate=8000.0)
+        for codec in (MuLawCodec(), ADPCMCodec()):
+            encoded = codec.encode_value(raw)
+            assert encoded.data_size_bits() < raw.data_size_bits()

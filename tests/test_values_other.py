@@ -1,0 +1,131 @@
+"""TextStreamValue, ImageValue, MIDIValue and the MIDI synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.avtime import WorldTime
+from repro.codecs import MIDISynthesizer
+from repro.errors import CodecError, DataModelError
+from repro.values import ImageValue, MIDIEvent, MIDIValue, TextStreamValue
+from repro.values.text import TextItem
+
+
+class TestTextStream:
+    def test_basic_items(self):
+        value = TextStreamValue(["a", "b", "c"], rate=2.0)
+        assert value.element_count == 3
+        assert value.texts() == ["a", "b", "c"]
+        assert value.duration == WorldTime(1.5)
+
+    def test_text_items_with_span(self):
+        value = TextStreamValue([TextItem("hold", span=3.0)], rate=1.0)
+        assert value.item(0).span == 3.0
+        with pytest.raises(DataModelError):
+            TextItem("bad", span=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataModelError):
+            TextStreamValue([], rate=1.0)
+
+    def test_element_size_utf8(self):
+        value = TextStreamValue(["héllo"], rate=1.0)
+        assert value.element_size_bits(0) == len("héllo".encode()) * 8
+
+    def test_translate_shares_items(self):
+        value = TextStreamValue(["x", "y"], rate=1.0)
+        moved = value.translate(WorldTime(4.0))
+        assert moved.start == WorldTime(4.0)
+        assert moved.texts() == ["x", "y"]
+
+
+class TestImageValue:
+    def test_grayscale_and_color(self):
+        gray = ImageValue(np.zeros((8, 10), dtype=np.uint8))
+        assert (gray.width, gray.height, gray.depth) == (10, 8, 8)
+        rgb = ImageValue(np.zeros((8, 10, 3), dtype=np.uint8))
+        assert rgb.depth == 24
+
+    def test_single_element_sequence(self):
+        image = ImageValue(np.zeros((4, 4), dtype=np.uint8), display_seconds=2.0)
+        assert image.element_count == 1
+        assert image.duration == WorldTime(2.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(DataModelError):
+            ImageValue(np.zeros((4, 4, 4), dtype=np.uint8))
+        with pytest.raises(DataModelError):
+            ImageValue(np.zeros((4, 4), dtype=np.uint8), display_seconds=0.0)
+
+
+class TestMIDIValue:
+    def test_events_sorted_and_validated(self):
+        value = MIDIValue([
+            MIDIEvent(480, 72, 90, 240),
+            MIDIEvent(0, 60, 100, 480),
+        ])
+        assert value.events[0].note == 60  # sorted by tick
+        assert value.element_count == 720  # last event end
+
+    def test_event_validation(self):
+        with pytest.raises(DataModelError):
+            MIDIEvent(-1, 60, 100, 10)
+        with pytest.raises(DataModelError):
+            MIDIEvent(0, 128, 100, 10)
+        with pytest.raises(DataModelError):
+            MIDIEvent(0, 60, 0, 10)
+        with pytest.raises(DataModelError):
+            MIDIEvent(0, 60, 100, 0)
+
+    def test_frequency_equal_temperament(self):
+        assert MIDIEvent(0, 69, 100, 10).frequency_hz == pytest.approx(440.0)
+        assert MIDIEvent(0, 81, 100, 10).frequency_hz == pytest.approx(880.0)
+
+    def test_active_at_tick(self):
+        value = MIDIValue([MIDIEvent(10, 60, 100, 20)])
+        assert not value.active_at_tick(9)
+        assert value.active_at_tick(10)
+        assert value.active_at_tick(29)
+        assert not value.active_at_tick(30)
+
+    def test_element_payload_events_starting_at_tick(self):
+        value = MIDIValue([MIDIEvent(5, 60, 100, 10), MIDIEvent(5, 64, 100, 10)])
+        assert len(value.element_payload(5)) == 2
+        assert value.element_payload(6) == ()
+
+
+class TestMIDISynthesizer:
+    def test_renders_audible_pcm(self):
+        value = MIDIValue([MIDIEvent(0, 69, 100, 480)], ticks_per_second=480.0)
+        audio = MIDISynthesizer(sample_rate=8000.0).render(value)
+        pcm = audio.samples()[0]
+        assert np.abs(pcm).max() > 1000  # clearly audible
+        assert audio.sample_rate == 8000.0
+        # Duration covers the note plus release tail.
+        assert audio.duration.seconds >= 1.0
+
+    def test_velocity_scales_amplitude(self):
+        loud = MIDIValue([MIDIEvent(0, 69, 120, 480)])
+        quiet = MIDIValue([MIDIEvent(0, 69, 20, 480)])
+        synth = MIDISynthesizer(sample_rate=8000.0)
+        assert np.abs(synth.render(loud).samples()).max() > \
+            np.abs(synth.render(quiet).samples()).max() * 2
+
+    def test_fundamental_frequency_present(self):
+        """The rendered A4 note has its spectral peak near 440 Hz."""
+        value = MIDIValue([MIDIEvent(0, 69, 100, 960)], ticks_per_second=480.0)
+        audio = MIDISynthesizer(sample_rate=8000.0).render(value)
+        pcm = audio.samples()[0][:16000].astype(np.float64)
+        spectrum = np.abs(np.fft.rfft(pcm))
+        peak_hz = np.argmax(spectrum) * 8000.0 / len(pcm)
+        assert abs(peak_hz - 440.0) < 15.0
+
+    def test_chord_does_not_wrap(self):
+        chord = MIDIValue([MIDIEvent(0, n, 127, 480) for n in (60, 64, 67, 72)])
+        audio = MIDISynthesizer(sample_rate=8000.0, amplitude=0.9).render(chord)
+        assert np.abs(audio.samples()).max() <= 32767
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodecError):
+            MIDISynthesizer(sample_rate=0.0)
+        with pytest.raises(CodecError):
+            MIDISynthesizer(amplitude=1.5)

@@ -1,0 +1,153 @@
+"""VideoValue hierarchy: the paper's class, its encoded specializations,
+and the MediaValue temporal interface over shared storage."""
+
+import numpy as np
+import pytest
+
+from repro.avtime import ObjectTime, WorldTime
+from repro.codecs import JPEGCodec, MPEGCodec, RawCodec
+from repro.errors import DataModelError, MediaTypeError, TemporalError
+from repro.values import (
+    CCIRVideoValue,
+    JPEGVideoValue,
+    LVVideoValue,
+    RawVideoValue,
+    VideoValue,
+)
+
+
+def frames(n=6, h=16, w=16):
+    return (np.arange(n * h * w, dtype=np.uint32).reshape(n, h, w) % 256).astype(np.uint8)
+
+
+class TestRawVideoValue:
+    def test_paper_attributes(self):
+        value = RawVideoValue(frames(), rate=30.0)
+        assert (value.width, value.height, value.depth) == (16, 16, 8)
+        assert value.num_frames == 6
+        assert value.media_type.name == "video/raw"
+
+    def test_color_frames(self):
+        rgb = np.zeros((4, 8, 8, 3), dtype=np.uint8)
+        value = RawVideoValue(rgb)
+        assert value.depth == 24
+        assert value.frame(0).shape == (8, 8, 3)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(DataModelError):
+            RawVideoValue(np.zeros((4, 8), dtype=np.uint8))
+        with pytest.raises(DataModelError):
+            RawVideoValue(np.zeros((0, 8, 8), dtype=np.uint8))
+        with pytest.raises(DataModelError):
+            RawVideoValue(np.zeros((4, 8, 8, 2), dtype=np.uint8))
+
+    def test_duration_from_rate(self):
+        value = RawVideoValue(frames(30), rate=30.0)
+        assert value.duration == WorldTime(1.0)
+        assert value.rate == 30.0
+
+    def test_element_access_by_world_time(self):
+        value = RawVideoValue(frames(6), rate=10.0)
+        assert np.array_equal(value.element(WorldTime(0.35)),
+                              value.frame(3))
+        with pytest.raises(TemporalError):
+            value.element(WorldTime(0.6))  # past the end
+        with pytest.raises(TemporalError):
+            value.element(WorldTime(-0.1))
+
+    def test_object_world_conversion_bounds(self):
+        value = RawVideoValue(frames(6), rate=10.0)
+        assert value.object_to_world(ObjectTime(3)) == WorldTime(0.3)
+        with pytest.raises(TemporalError):
+            value.object_to_world(ObjectTime(6))
+
+    def test_data_rate(self):
+        value = RawVideoValue(frames(30), rate=30.0)
+        # 16*16*8 bits * 30 frames / 1 second
+        assert value.data_rate_bps() == pytest.approx(16 * 16 * 8 * 30)
+
+    def test_scale_shares_storage(self):
+        value = RawVideoValue(frames(6), rate=30.0)
+        slow = value.scale(2.0)
+        assert slow.duration == value.duration * 2
+        assert slow.frames_array is value.frames_array  # shared, not copied
+        assert isinstance(slow, RawVideoValue)
+
+    def test_translate_moves_interval(self):
+        value = RawVideoValue(frames(6), rate=30.0)
+        moved = value.translate(WorldTime(5.0))
+        assert moved.start == WorldTime(5.0)
+        assert moved.interval.end == WorldTime(5.0) + value.duration
+        assert np.array_equal(moved.frame(2), value.frame(2))
+
+    def test_len_protocol(self):
+        assert len(RawVideoValue(frames(6))) == 6
+
+
+class TestSpecializations:
+    def test_ccir_type(self):
+        value = CCIRVideoValue(frames(), rate=30.0)
+        assert value.media_type.name == "video/ccir601"
+        assert isinstance(value, VideoValue)
+
+    def test_lv_is_analog(self):
+        value = LVVideoValue(frames(), rate=30.0)
+        assert value.media_type.analog
+        assert value.media_type.name == "video/lv-analog"
+
+    def test_encoded_value_decodes_frames(self):
+        codec = JPEGCodec(90)
+        raw = RawVideoValue(frames(), rate=30.0)
+        encoded = codec.encode_value(raw)
+        assert isinstance(encoded, JPEGVideoValue)
+        assert encoded.media_type.name == "video/jpeg"
+        assert encoded.num_frames == raw.num_frames
+        decoded = encoded.frame(3)
+        assert decoded.shape == (16, 16)
+        assert np.abs(decoded.astype(int) - raw.frame(3).astype(int)).mean() < 12
+
+    def test_encoded_value_codec_mismatch_rejected(self):
+        raw = RawVideoValue(frames(), rate=30.0)
+        chunks = RawCodec().encode_frames([raw.frame(i) for i in range(6)])
+        with pytest.raises(MediaTypeError, match="requires the 'jpeg' codec"):
+            JPEGVideoValue(chunks, RawCodec(), 16, 16, 8)
+
+    def test_compression_ratio_positive(self):
+        raw = RawVideoValue(frames(), rate=30.0)
+        encoded = MPEGCodec(75).encode_value(raw)
+        assert encoded.compression_ratio() > 1.0
+        assert encoded.data_size_bits() < raw.data_size_bits()
+
+    def test_encoded_scale_shares_chunks(self):
+        encoded = JPEGCodec(75).encode_value(RawVideoValue(frames(), rate=30.0))
+        slow = encoded.scale(2.0)
+        assert slow.chunks is encoded.chunks
+        assert slow.codec is encoded.codec
+
+    def test_generic_videovalue_screening(self):
+        """Applications use the generic class regardless of representation."""
+        raw = RawVideoValue(frames(), rate=30.0)
+        encoded = JPEGCodec(75).encode_value(raw)
+        for value in (raw, encoded):
+            assert isinstance(value, VideoValue)
+            assert value.frame(0).shape == (16, 16)
+            assert value.geometry == (16, 16, 8)
+
+
+class TestElementValue:
+    def test_element_value_is_image(self):
+        from repro.avtime import WorldTime
+        from repro.values import ImageValue
+        value = RawVideoValue(frames(6), rate=30.0)
+        still = value.element_value(WorldTime(0.1))  # frame 3
+        assert isinstance(still, ImageValue)
+        assert np.array_equal(still.pixels, value.frame(3))
+        assert still.duration.seconds == pytest.approx(1 / 30.0)
+
+    def test_element_value_from_encoded(self):
+        from repro.avtime import WorldTime
+        from repro.values import ImageValue
+        encoded = JPEGCodec(90).encode_value(RawVideoValue(frames(6), rate=30.0))
+        still = encoded.element_value(WorldTime(0.0))
+        assert isinstance(still, ImageValue)
+        assert still.pixels.shape == (16, 16)
