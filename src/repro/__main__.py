@@ -1,11 +1,20 @@
-"""``python -m repro`` — a one-minute tour of the system.
+"""``python -m repro`` — a one-minute tour, plus observability commands.
 
-Prints the version, the Table 1 activity catalog from the live classes,
-the Fig. 1 timeline, and runs the quickstart stream, so a fresh checkout
-can be sanity-checked with a single command.
+With no arguments, prints the version, the Table 1 activity catalog from
+the live classes, the Fig. 1 timeline, and runs the quickstart stream,
+so a fresh checkout can be sanity-checked with a single command.
+
+``python -m repro trace <scenario>`` runs a named scenario with tracing
+enabled and writes a Chrome ``trace_event`` file (load it in Perfetto or
+``chrome://tracing``), a JSONL event log, and a plain-text metrics
+summary.
 """
 
 from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
 
 import repro
 from repro import AVDatabaseSystem, AttributeSpec, ClassDef, MagneticDisk, Q, VideoValue
@@ -13,7 +22,7 @@ from repro.activities.library import ActivityCatalog
 from repro.synth import fig1_timeline, moving_scene
 
 
-def main() -> None:
+def tour() -> None:
     """Print the tour: version, Table 1, Fig. 1, a quickstart stream."""
     print(f"repro {repro.__version__} — an AV database system")
     print("(Gibbs, Breiteneder & Tsichritzis, ICDE 1993)\n")
@@ -47,5 +56,62 @@ def main() -> None:
     print("\nsee README.md, examples/ and `pytest benchmarks/ --benchmark-only`")
 
 
+def trace(scenario_name: str, out_dir: Path) -> int:
+    """Run a scenario under a tracing scope and export trace + summary."""
+    from repro.obs import current, scoped
+    from repro.obs.export import write_chrome_trace, write_jsonl, write_summary
+    from repro.obs.scenarios import SCENARIOS
+
+    try:
+        scenario = SCENARIOS[scenario_name]
+    except KeyError:
+        names = ", ".join(sorted(SCENARIOS))
+        print(f"unknown scenario {scenario_name!r}; pick one of: {names}",
+              file=sys.stderr)
+        return 2
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with scoped(tracing=True):
+        facts = scenario()
+        obs = current()
+        trace_path = out_dir / f"{scenario_name}.trace.json"
+        jsonl_path = out_dir / f"{scenario_name}.events.jsonl"
+        summary_path = out_dir / f"{scenario_name}.summary.txt"
+        write_chrome_trace(obs.tracer, trace_path, obs.metrics)
+        write_jsonl(obs.tracer, jsonl_path)
+        write_summary(obs.metrics, summary_path, obs.tracer,
+                      title=f"scenario: {scenario_name}")
+        events = len(obs.tracer.events)
+
+    print(f"scenario {scenario_name!r}:")
+    for key, value in facts.items():
+        print(f"  {key} = {value}")
+    print(f"{events} trace events")
+    print(f"wrote {trace_path}  (open in Perfetto / chrome://tracing)")
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {summary_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AV database reproduction: tour and trace runner.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    trace_parser = sub.add_parser(
+        "trace", help="run a scenario with tracing and export the results"
+    )
+    trace_parser.add_argument("scenario", nargs="?", default="quickstart",
+                              help="scenario name (default: quickstart)")
+    trace_parser.add_argument("--out", type=Path, default=Path("traces"),
+                              help="output directory (default: ./traces)")
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        return trace(args.scenario, args.out)
+    tour()
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -199,6 +199,10 @@ class MediaActivity(abc.ABC):
     # -- process scaffolding ------------------------------------------------
     def _run(self) -> Generator:
         self.events.emit(self, EVENT_STARTED, self.simulator.now)
+        span = self.simulator.obs.tracer.begin(
+            self.name, f"activity.{self.kind.value}", track=self.name,
+            location=self.location.value,
+        ) if self.simulator.obs.tracer.enabled else None
         try:
             yield from self._process()
         finally:
@@ -208,6 +212,8 @@ class MediaActivity(abc.ABC):
             else:
                 self.state = ActivityState.FINISHED
                 self.events.emit(self, EVENT_FINISHED, self.simulator.now)
+            if span is not None:
+                span.end(outcome=self.state.value)
 
     @abc.abstractmethod
     def _process(self) -> Generator:

@@ -38,6 +38,7 @@ from repro.activities.events import (
 from repro.activities.ports import Direction
 from repro.avtime import ObjectTime, WorldTime
 from repro.errors import ActivityError, MediaTypeError
+from repro.obs.metrics import LATENCY_BUCKETS_MS
 from repro.sim import Delay, Simulator
 from repro.streams.clock import PresentationLog
 from repro.streams.element import END_OF_STREAM, EndOfStream, StreamElement
@@ -81,6 +82,7 @@ class PacedSource(MediaActivity):
         self._sync_member: Optional[str] = None
         self._resync: Optional[Resynchronizer] = None
         self.elements_produced = 0
+        self._m_produced = simulator.obs.metrics.counter("stream.elements_produced")
         #: optional storage stream (provided by the storage layer); when
         #: set, each element pays device read time.
         self.io_stream = None
@@ -185,6 +187,7 @@ class PacedSource(MediaActivity):
             element = StreamElement(payload, position, ideal, media_type, size_bits)
             yield from port.send(element)
             self.elements_produced += 1
+            self._m_produced.inc()
             self._emit_each(element, last=position == total - 1)
         yield from port.send(END_OF_STREAM)
         self._emit_last()
@@ -228,6 +231,14 @@ class SinkActivity(MediaActivity):
         self.presentation_delay = presentation_delay
         self.presented: List = []
         self.elements_consumed = 0
+        metrics = simulator.obs.metrics
+        self._m_consumed = metrics.counter("stream.elements_presented")
+        self._m_latency = metrics.histogram("stream.latency_ms",
+                                            buckets=LATENCY_BUCKETS_MS)
+        self._m_jitter = metrics.histogram("stream.jitter_ms",
+                                           buckets=LATENCY_BUCKETS_MS)
+        self._m_late = metrics.counter("stream.late_presentations")
+        self._prev_latency_ms: Optional[float] = None
 
     def _in_port_name(self) -> str:
         return self.in_ports()[0].name
@@ -249,9 +260,26 @@ class SinkActivity(MediaActivity):
                     yield Delay(wait)
             self._present(element)
             self.elements_consumed += 1
-            self.log.record(element.index, element.ideal_time, self.simulator.now)
+            actual = self.simulator.now
+            self.log.record(element.index, element.ideal_time, actual)
+            self._observe_presentation(element, actual)
             self._emit(EVENT_EACH_ELEMENT, element.index)
         self._emit(EVENT_LAST_ELEMENT, self.elements_consumed)
+
+    def _observe_presentation(self, element: StreamElement, actual) -> None:
+        """Publish per-element end-to-end latency and jitter vs ideal_time."""
+        self._m_consumed.inc()
+        latency_ms = (actual.seconds - element.ideal_time.seconds) * 1000.0
+        self._m_latency.observe(max(0.0, latency_ms))
+        if latency_ms > self.presentation_delay * 1000.0 + 1e-9:
+            self._m_late.inc()
+        if self._prev_latency_ms is not None:
+            self._m_jitter.observe(abs(latency_ms - self._prev_latency_ms))
+        self._prev_latency_ms = latency_ms
+        tracer = self.simulator.obs.tracer
+        if tracer.enabled:
+            tracer.instant(f"{self.name}.present", "stream", track=self.name,
+                           index=element.index, latency_ms=round(latency_ms, 3))
 
     def _present(self, element: StreamElement) -> None:
         if self.keep_payloads:
@@ -269,6 +297,8 @@ class TransformerActivity(MediaActivity):
             raise ActivityError(f"processing cost must be >= 0, got {process_seconds}")
         self.process_seconds = process_seconds
         self.elements_processed = 0
+        self._m_transformed = simulator.obs.metrics.counter(
+            "stream.elements_transformed")
 
     def _transform(self, element: StreamElement) -> StreamElement:
         raise NotImplementedError
@@ -284,6 +314,7 @@ class TransformerActivity(MediaActivity):
                 yield Delay(self.process_seconds)
             yield from out_port.send(self._transform(element))
             self.elements_processed += 1
+            self._m_transformed.inc()
         yield from out_port.send(END_OF_STREAM)
 
 

@@ -57,7 +57,10 @@ class AVDatabaseSystem:
                  name: str = "avdb") -> None:
         self.simulator = simulator if simulator is not None else Simulator()
         # NOT `database or ...`: an empty Database is falsy via __len__.
-        self.db = database if database is not None else Database()
+        # A system-created database shares the simulator's observability
+        # context so db.* and sim.* metrics land in one registry.
+        self.db = (database if database is not None
+                   else Database(obs=self.simulator.obs))
         self.name = name
         self.placement = PlacementManager(self.simulator)
         self.resources = ResourceManager(self.simulator)
@@ -67,6 +70,21 @@ class AVDatabaseSystem:
         #: from storage faster than real time so pipeline latency stays
         #: bounded (ablation knob).
         self.readahead = 2.0
+
+    # -- observability ----------------------------------------------------
+    @property
+    def obs(self):
+        """The observability context every layer of this system reports to."""
+        return self.simulator.obs
+
+    @property
+    def metrics(self):
+        """The system-wide metrics registry (sim.*, stream.*, storage.*...)."""
+        return self.simulator.obs.metrics
+
+    @property
+    def tracer(self):
+        return self.simulator.obs.tracer
 
     # -- storage ---------------------------------------------------------
     def add_storage(self, device: Device) -> Device:
@@ -183,6 +201,7 @@ class AVDatabaseSystem:
         demand = value.data_rate_bps()
         if device.available_bps + 1e-9 < demand:
             device.admission_failures += 1
+            device._m_admission_failures.inc()
             raise AdmissionError(
                 f"device {device.name!r} cannot sustain a {demand:g} b/s "
                 f"stream ({device.available_bps:g} b/s available)"

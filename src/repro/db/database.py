@@ -20,13 +20,16 @@ from repro.db.store import OP_DELETE, OP_INSERT, OP_UPDATE, ObjectStore, Op
 from repro.db.transactions import Transaction
 from repro.db.versions import VersionCatalog
 from repro.errors import SchemaError
+from repro.obs import Obs, attach
 
 
 class Database:
     """An object database instance (optionally durable)."""
 
     def __init__(self, directory: Optional[str] = None,
-                 paged: bool = False, pool_capacity: int = 128) -> None:
+                 paged: bool = False, pool_capacity: int = 128,
+                 obs: Optional[Obs] = None) -> None:
+        self.obs = attach(obs)
         self.schema = Schema()
         if paged:
             if directory is None:
@@ -40,13 +43,19 @@ class Database:
         # ablation bench).
         from repro.db.btree import BTreeIndex
         self._index_factory = BTreeIndex
-        self._locks = LockManager()
+        self._locks = LockManager(obs=self.obs)
         self._tx_ids = itertools.count(1)
         # (class_name, attribute) -> index
         self._ordered: Dict[tuple, OrderedIndex] = {}
         self._keyword: Dict[tuple, KeywordIndex] = {}
         self.versions = VersionCatalog()
         self.stats = {"commits": 0, "aborts": 0, "index_scans": 0, "full_scans": 0}
+        metrics = self.obs.metrics
+        self._m_begins = metrics.counter("db.tx_begins")
+        self._m_commits = metrics.counter("db.tx_commits")
+        self._m_aborts = metrics.counter("db.tx_aborts")
+        self._m_index_scans = metrics.counter("db.index_scans")
+        self._m_full_scans = metrics.counter("db.full_scans")
 
     # -- schema ---------------------------------------------------------
     def define_class(self, class_def: ClassDef) -> ClassDef:
@@ -65,6 +74,7 @@ class Database:
 
     # -- transactions ------------------------------------------------------
     def begin(self) -> Transaction:
+        self._m_begins.inc()
         return Transaction(self, next(self._tx_ids))
 
     def _commit_transaction(self, tx: Transaction, ops: List[Op]) -> None:
@@ -83,6 +93,7 @@ class Database:
             if new is not None and old is not None:
                 self.versions.record_update(new.oid, new.version)
         self.stats["commits"] += 1
+        self._m_commits.inc()
 
     def _reindex(self, old: Optional[DBObject], new: Optional[DBObject]) -> None:
         oid = (old or new).oid
@@ -153,9 +164,11 @@ class Database:
             plan = predicate.index_plan(ordered, keyword)
             if plan is not None:
                 self.stats["index_scans"] += 1
+                self._m_index_scans.inc()
                 candidates = sorted(o for o in plan if o.class_name == cls)
             else:
                 self.stats["full_scans"] += 1
+                self._m_full_scans.inc()
                 candidates = self._store.oids_of_class([cls])
             results.extend(
                 oid for oid in candidates if predicate.matches(self._store.get(oid))

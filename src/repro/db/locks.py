@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.db.objects import OID
 from repro.errors import LockTimeoutError
+from repro.obs import Obs, attach
 
 
 class LockMode(Enum):
@@ -32,9 +33,12 @@ class _LockEntry:
 class LockManager:
     """Per-OID S/X locks keyed by transaction id (= age: lower is older)."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Obs] = None) -> None:
         self._locks: Dict[OID, _LockEntry] = {}
         self.conflicts = 0
+        metrics = attach(obs).metrics
+        self._m_acquired = metrics.counter("db.locks_acquired")
+        self._m_conflicts = metrics.counter("db.lock_conflicts")
 
     def acquire(self, tx_id: int, oid: OID, mode: LockMode) -> None:
         """Grant or raise.
@@ -45,6 +49,7 @@ class LockManager:
         entry = self._locks.get(oid)
         if entry is None:
             self._locks[oid] = _LockEntry(mode, {tx_id})
+            self._m_acquired.inc()
             return
         if tx_id in entry.holders:
             if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
@@ -55,11 +60,13 @@ class LockManager:
             return  # already held at sufficient strength
         if mode is LockMode.SHARED and entry.mode is LockMode.SHARED:
             entry.holders.add(tx_id)
+            self._m_acquired.inc()
             return
         self._conflict(tx_id, oid, entry)
 
     def _conflict(self, tx_id: int, oid: OID, entry: _LockEntry) -> None:
         self.conflicts += 1
+        self._m_conflicts.inc()
         oldest_holder = min(entry.holders)
         should_retry = tx_id < oldest_holder  # older transactions wait
         holders = ", ".join(str(h) for h in sorted(entry.holders))

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DatabaseError
+from repro.obs import attach
 
 PAGE_SIZE = 4096
 
@@ -130,6 +131,9 @@ class PageFile:
                 f"{self.path} is torn: {size} bytes is not a page multiple"
             )
         self._page_count = size // PAGE_SIZE
+        metrics = attach().metrics
+        self._m_page_reads = metrics.counter("db.page_reads")
+        self._m_page_writes = metrics.counter("db.page_writes")
 
     @property
     def page_count(self) -> int:
@@ -150,12 +154,14 @@ class PageFile:
         data = bytearray(self._file.read(PAGE_SIZE))
         if len(data) != PAGE_SIZE:
             raise DatabaseError(f"short read of page {page_id}")
+        self._m_page_reads.inc()
         return Page(page_id, data)
 
     def write_page(self, page: Page) -> None:
         self._file.seek(page.page_id * PAGE_SIZE)
         self._file.write(page.data)
         page.dirty = False
+        self._m_page_writes.inc()
 
     def sync(self) -> None:
         self._file.flush()
@@ -178,6 +184,10 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        metrics = attach().metrics
+        self._m_hits = metrics.counter("db.page_hits")
+        self._m_misses = metrics.counter("db.page_misses")
+        self._m_evictions = metrics.counter("db.page_evictions")
 
     def _evict_if_needed(self, keep: Optional[int] = None) -> None:
         """Shrink to capacity; never evicts pinned pages or ``keep``
@@ -196,14 +206,17 @@ class BufferPool:
             if victim.dirty:
                 self.page_file.write_page(victim)
             self.evictions += 1
+            self._m_evictions.inc()
 
     def fetch(self, page_id: int, pin: bool = False) -> Page:
         """Return the page, reading it in (and evicting) as needed."""
         if page_id in self._frames:
             self.hits += 1
+            self._m_hits.inc()
             self._frames.move_to_end(page_id)
         else:
             self.misses += 1
+            self._m_misses.inc()
             self._frames[page_id] = self.page_file.read_page(page_id)
             self._evict_if_needed(keep=page_id)
         if pin:

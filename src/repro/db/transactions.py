@@ -118,6 +118,8 @@ class Transaction:
         self.state = TxState.ABORTED
         self._writes.clear()
         self._db._locks.release_all(self.tx_id)
+        self._db.stats["aborts"] += 1
+        self._db._m_aborts.inc()
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "Transaction":

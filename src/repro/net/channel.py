@@ -90,6 +90,10 @@ class Channel:
         self._reservations: Dict[int, Reservation] = {}
         self.total_bits = 0
         self.admission_failures = 0
+        metrics = simulator.obs.metrics
+        self._m_bits_sent = metrics.counter("net.bits_sent")
+        self._m_admission_failures = metrics.counter("net.admission_failures")
+        self._m_utilization = metrics.gauge(f"net.channel.{name}.utilization")
 
     # -- admission control ---------------------------------------------------
     @property
@@ -106,19 +110,23 @@ class Channel:
             raise AdmissionError(f"cannot reserve non-positive bandwidth {bps}")
         if bps > self.available_bps + 1e-9:
             self.admission_failures += 1
+            self._m_admission_failures.inc()
             raise AdmissionError(
                 f"channel {self.name!r}: cannot reserve {bps:g} b/s "
                 f"({self.available_bps:g} of {self.capacity_bps:g} available)"
             )
         reservation = Reservation(self, bps, label)
         self._reservations[reservation.id] = reservation
+        self._m_utilization.set(self.reserved_bps / self.capacity_bps)
         return reservation
 
     def _release(self, reservation: Reservation) -> None:
         self._reservations.pop(reservation.id, None)
+        self._m_utilization.set(self.reserved_bps / self.capacity_bps)
 
     def _account(self, bits: int) -> None:
         self.total_bits += bits
+        self._m_bits_sent.inc(bits)
 
     # -- accounting ----------------------------------------------------------
     @property

@@ -1,0 +1,140 @@
+"""Observability: virtual-time metrics and tracing for the whole stack.
+
+Every runtime layer publishes metrics under the ``<layer>.<name>`` naming
+scheme and (when tracing is enabled) spans/instants stamped with both
+virtual :class:`~repro.avtime.WorldTime` and wall-clock time:
+
+* ``sim.*`` — kernel: processes, event dispatch, resource waits;
+* ``stream.*`` — buffers and sinks: occupancy, stalls, end-to-end
+  latency and jitter vs ``ideal_time``;
+* ``storage.*`` — devices/scheduler/placement: seeks, waits, deadline
+  misses, per-device utilisation;
+* ``db.*`` — pages, locks, transactions;
+* ``net.*`` — channels: bits, admission;
+* ``session.*`` — per-client QoS delivered vs negotiated.
+
+An :class:`Obs` pairs one :class:`MetricsRegistry` with one tracer.
+Instrumented constructors call :func:`attach` to find their ``Obs``:
+an explicitly passed one wins, then the innermost :func:`scoped` /
+:func:`disabled` ambient scope, else a fresh default (metrics on, null
+tracer).  So by default metrics are always collected per simulator at
+negligible cost, and::
+
+    with repro.obs.scoped() as obs:
+        system = AVDatabaseSystem()   # everything built here shares obs
+        ...run...
+    write_chrome_trace(obs.tracer, "out.trace.json")
+
+turns on full tracing for everything constructed inside the scope.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    NULL_METRICS,
+    TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Obs", "attach", "current", "scoped", "disabled",
+    "MetricsRegistry", "NullMetrics", "NULL_METRICS", "MetricError",
+    "Counter", "Gauge", "Histogram",
+    "TIME_BUCKETS_S", "LATENCY_BUCKETS_MS", "DEPTH_BUCKETS",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceEvent",
+    "chrome_trace", "chrome_trace_events", "write_chrome_trace",
+    "write_jsonl", "text_summary", "write_summary",
+]
+
+
+class Obs:
+    """One observability context: a metrics registry plus a tracer."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics=None, tracer=None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def __repr__(self) -> str:
+        return (f"Obs({len(self.metrics)} metrics, "
+                f"tracing={'on' if self.tracing else 'off'})")
+
+
+#: the fully disabled context (null metrics + null tracer).
+NULL_OBS = Obs(NULL_METRICS, NULL_TRACER)
+
+_scopes: List[Obs] = []
+
+
+def current() -> Optional[Obs]:
+    """The innermost ambient scope's Obs, or None outside any scope."""
+    return _scopes[-1] if _scopes else None
+
+
+def attach(obs: Optional[Obs] = None) -> Obs:
+    """Resolve the Obs an instrumented component should publish to.
+
+    Precedence: explicit ``obs`` argument > innermost ambient scope >
+    a fresh default (real metrics, null tracer).
+    """
+    if obs is not None:
+        return obs
+    ambient = current()
+    if ambient is not None:
+        return ambient
+    return Obs()
+
+
+@contextmanager
+def scoped(tracing: bool = True) -> Iterator[Obs]:
+    """Install an ambient Obs; components built inside share it.
+
+    With ``tracing=True`` (default) the scope gets a live
+    :class:`Tracer`; the first :class:`~repro.sim.Simulator` constructed
+    inside binds its virtual clock to it.
+    """
+    obs = Obs(MetricsRegistry(), Tracer() if tracing else NULL_TRACER)
+    _scopes.append(obs)
+    try:
+        yield obs
+    finally:
+        _scopes.remove(obs)
+
+
+@contextmanager
+def disabled() -> Iterator[Obs]:
+    """Install the fully null ambient Obs (the un-instrumented baseline).
+
+    Exists for overhead measurement (``bench_obs_overhead.py``): inside
+    this scope, components bind no-op instruments, so runs approximate a
+    build with no observability at all.
+    """
+    _scopes.append(NULL_OBS)
+    try:
+        yield NULL_OBS
+    finally:
+        _scopes.remove(NULL_OBS)

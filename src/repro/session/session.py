@@ -48,6 +48,9 @@ from repro.streams.sync import JitterModel
 from repro.temporal.composite import TemporalComposite
 from repro.values.base import MediaValue
 
+#: Buckets for delivered/negotiated QoS ratios (1.0 = contract honoured).
+QOS_RATIO_BUCKETS = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0, 1.05, 1.2)
+
 
 @dataclass(frozen=True, slots=True)
 class Notification:
@@ -76,6 +79,7 @@ class Stream:
         if self.started:
             raise SessionError("stream already started")
         self.started = True
+        self.session._m_streams_started.inc()
         for activity in self.activities:
             if activity.state is not ActivityState.RUNNING:
                 activity.start()
@@ -137,6 +141,13 @@ class Session:
         self._leases: List = []
         self._streams: List[Stream] = []
         self.closed = False
+        self.obs = system.simulator.obs
+        metrics = self.obs.metrics
+        self._m_streams_started = metrics.counter("session.streams_started")
+        self._m_notifications = metrics.counter("session.notifications")
+        self._m_qos_ratio = metrics.histogram("session.qos_ratio",
+                                              QOS_RATIO_BUCKETS)
+        metrics.counter("session.opened").inc()
 
     # -- queries (issue-request / receive-reply is fine for these) --------
     def select(self, class_name: str, predicate: Optional[Union[Predicate, str]] = None) -> List[OID]:
@@ -341,6 +352,7 @@ class Session:
         self._require_open()
 
         def _handler(act, name, payload):
+            self._m_notifications.inc()
             self.notifications.append(
                 Notification(act.name, name, payload, self.system.simulator.now)
             )
@@ -355,10 +367,34 @@ class Session:
         """Drive the simulation (the 'client event loop')."""
         return self.system.simulator.run(until)
 
+    def _record_qos(self) -> None:
+        """Compare delivered presentation rates with the negotiated QoS.
+
+        For every sink that carries a quality contract with a frame/sample
+        rate, the delivered rate is read from its presentation log and
+        published as a ratio (1.0 = contract met exactly).
+        """
+        for activity in self._activities:
+            quality = getattr(activity, "quality", None)
+            log = getattr(activity, "log", None)
+            rate = getattr(quality, "rate", None)
+            if not rate or log is None or len(log) < 2:
+                continue
+            span_s = (log.records[-1].actual - log.records[0].actual).seconds
+            if span_s <= 0:
+                continue
+            delivered = (len(log) - 1) / span_s
+            ratio = delivered / rate
+            self._m_qos_ratio.observe(ratio)
+            self.obs.metrics.gauge(
+                f"session.{self.name}.qos_ratio"
+            ).set(ratio)
+
     def close(self) -> None:
         """Stop this session's running activities and free its resources."""
         if self.closed:
             return
+        self._record_qos()
         for activity in self._activities:
             if activity.state is ActivityState.RUNNING:
                 activity.stop()

@@ -21,6 +21,11 @@ factored into helper generators.
 Determinism: ties in the event queue break by (time, sequence number), so
 identical inputs replay identical schedules — which is what makes the
 benchmark harness reproducible.
+
+Observability: every simulator publishes ``sim.*`` metrics to its
+:class:`~repro.obs.Obs` (kernel counters are pre-bound, so the per-event
+cost is one attribute increment) and, when tracing is enabled, one span
+per process covering its whole virtual lifetime.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Any, Callable, Generator, Iterator, Optional
 
 from repro.avtime import WorldTime
 from repro.errors import SimulationError
+from repro.obs import Obs, attach
 
 ProcessGen = Generator[Any, Any, Any]
 
@@ -106,6 +112,7 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} already triggered")
         self._triggered = True
         self._payload = payload
+        self.simulator._m_triggered.inc()
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
             self.simulator._schedule_resume(proc, payload)
@@ -120,7 +127,8 @@ class SimEvent:
 class Process:
     """A running simulation process wrapping a user generator."""
 
-    __slots__ = ("simulator", "name", "_gen", "_stack", "done", "result", "error", "_watchers")
+    __slots__ = ("simulator", "name", "_gen", "_stack", "done", "result", "error",
+                 "_watchers", "_span")
 
     def __init__(self, simulator: "Simulator", gen: ProcessGen, name: str) -> None:
         self.simulator = simulator
@@ -132,6 +140,7 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._watchers: list[Process] = []
+        self._span = None  # lifetime trace span, set by spawn()
 
     def _add_watcher(self, proc: "Process") -> None:
         if self.done:
@@ -154,11 +163,19 @@ class _QueueEntry:
 class Simulator:
     """The event loop: virtual clock + priority queue of pending actions."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Obs] = None) -> None:
         self._queue: list[_QueueEntry] = []
         self._seq = 0
         self._now = 0.0
         self._processes: list[Process] = []
+        self.obs = attach(obs)
+        self.obs.tracer.bind_clock(lambda: self._now)
+        metrics = self.obs.metrics
+        self._m_dispatched = metrics.counter("sim.events_dispatched")
+        self._m_spawned = metrics.counter("sim.processes_spawned")
+        self._m_finished = metrics.counter("sim.processes_finished")
+        self._m_failures = metrics.counter("sim.process_failures")
+        self._m_triggered = metrics.counter("sim.events_triggered")
 
     # -- clock -----------------------------------------------------------
     @property
@@ -176,6 +193,9 @@ class Simulator:
             raise SimulationError(f"spawn() requires a generator, got {type(gen).__name__}")
         proc = Process(self, gen, name)
         self._processes.append(proc)
+        self._m_spawned.inc()
+        if self.obs.tracer.enabled:
+            proc._span = self.obs.tracer.begin(name, "sim.process", track=name)
         self._schedule_resume(proc, None)
         return proc
 
@@ -199,6 +219,7 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             self._now = entry.time
+            self._m_dispatched.inc()
             entry.action()
         else:
             if limit is not None:
@@ -213,6 +234,7 @@ class Simulator:
         while not proc.done and self._queue:
             entry = heapq.heappop(self._queue)
             self._now = entry.time
+            self._m_dispatched.inc()
             entry.action()
         if proc.error is not None:
             raise proc.error
@@ -277,6 +299,12 @@ class Simulator:
         proc.done = True
         proc.result = result
         proc.error = error
+        self._m_finished.inc()
+        if error is not None:
+            self._m_failures.inc()
+        if proc._span is not None:
+            proc._span.end() if error is None else proc._span.end(error=repr(error))
+            proc._span = None
         watchers, proc._watchers = proc._watchers, []
         for watcher in watchers:
             self._schedule_resume(watcher, result)

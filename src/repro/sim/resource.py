@@ -6,6 +6,9 @@ slots, a buffer pool.  Processes interact with it through the kernel's
 ``Acquire``/``Release`` commands; waiters queue FIFO, which models the
 paper's observation that "client requests can tie up resources ... for
 significant periods of time" and lets the benchmarks measure those waits.
+
+Each acquisition that had to queue publishes its virtual wait time to the
+``sim.resource_wait_s`` histogram (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -30,7 +33,8 @@ class SimResource:
         Units currently held.
     """
 
-    __slots__ = ("simulator", "name", "capacity", "in_use", "_waiters", "wait_count", "grant_count")
+    __slots__ = ("simulator", "name", "capacity", "in_use", "_waiters",
+                 "wait_count", "grant_count", "_m_waits", "_m_wait_s", "_m_grants")
 
     def __init__(self, simulator: "Simulator", capacity: int, name: str = "resource") -> None:
         if capacity <= 0:
@@ -39,9 +43,13 @@ class SimResource:
         self.name = name
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: Deque[Tuple["Process", int]] = deque()
+        self._waiters: Deque[Tuple["Process", int, float]] = deque()
         self.wait_count = 0  # number of acquisitions that had to queue
         self.grant_count = 0
+        metrics = simulator.obs.metrics
+        self._m_waits = metrics.counter("sim.resource_waits")
+        self._m_grants = metrics.counter("sim.resource_grants")
+        self._m_wait_s = metrics.histogram("sim.resource_wait_s")
 
     @property
     def available(self) -> int:
@@ -59,10 +67,13 @@ class SimResource:
         if not self._waiters and amount <= self.available:
             self.in_use += amount
             self.grant_count += 1
+            self._m_grants.inc()
+            self._m_wait_s.observe(0.0)
             self.simulator._schedule_resume(proc, None)
         else:
             self.wait_count += 1
-            self._waiters.append((proc, amount))
+            self._m_waits.inc()
+            self._waiters.append((proc, amount, self.simulator._now))
 
     def _release(self, amount: int) -> None:
         if amount <= 0 or amount > self.in_use:
@@ -71,12 +82,14 @@ class SimResource:
             )
         self.in_use -= amount
         while self._waiters:
-            proc, want = self._waiters[0]
+            proc, want, queued_at = self._waiters[0]
             if want > self.available:
                 break
             self._waiters.popleft()
             self.in_use += want
             self.grant_count += 1
+            self._m_grants.inc()
+            self._m_wait_s.observe(self.simulator._now - queued_at)
             self.simulator._schedule_resume(proc, None)
 
     def __repr__(self) -> str:

@@ -66,11 +66,13 @@ class DeviceReservation:
         yield from self._transfer(bits)
         self.bits_read += bits
         self.device.total_bits_read += bits
+        self.device._m_bits_read.inc(bits)
 
     def write(self, bits: int) -> Generator:
         yield from self._transfer(bits)
         self.bits_written += bits
         self.device.total_bits_written += bits
+        self.device._m_bits_written.inc(bits)
 
     def release(self) -> None:
         if not self.released:
@@ -99,6 +101,11 @@ class Device:
         self.total_bits_read = 0
         self.total_bits_written = 0
         self.admission_failures = 0
+        metrics = simulator.obs.metrics
+        self._m_bits_read = metrics.counter(f"storage.device.{name}.bits_read")
+        self._m_bits_written = metrics.counter(f"storage.device.{name}.bits_written")
+        self._m_utilization = metrics.gauge(f"storage.device.{name}.utilization")
+        self._m_admission_failures = metrics.counter("storage.admission_failures")
 
     # -- admission control (streaming) -----------------------------------
     @property
@@ -118,16 +125,19 @@ class Device:
             raise AdmissionError(f"cannot reserve non-positive bandwidth {bps}")
         if not self.can_admit(bps):
             self.admission_failures += 1
+            self._m_admission_failures.inc()
             raise AdmissionError(
                 f"device {self.name!r}: cannot admit stream at {bps:g} b/s "
                 f"({self.available_bps:g} of {self.bandwidth_bps:g} b/s available)"
             )
         reservation = DeviceReservation(self, bps, label)
         self._reservations[reservation.id] = reservation
+        self._m_utilization.set(self.reserved_bps / self.bandwidth_bps)
         return reservation
 
     def _release(self, reservation: DeviceReservation) -> None:
         self._reservations.pop(reservation.id, None)
+        self._m_utilization.set(self.reserved_bps / self.bandwidth_bps)
 
     def position_latency_s(self) -> float:
         """Latency to position before a stream starts (seek, swap...)."""
@@ -225,6 +235,7 @@ class JukeboxDevice(Device):
         # Analog playback: exactly one stream at a time, regardless of rate.
         if self._reservations:
             self.admission_failures += 1
+            self._m_admission_failures.inc()
             raise AdmissionError(
                 f"jukebox {self.name!r} is playing; analog devices serve one stream"
             )

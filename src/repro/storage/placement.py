@@ -44,6 +44,10 @@ class PlacementManager:
         self._devices: Dict[str, Device] = {}
         self._placements: Dict[int, Placement] = {}
         self.copy_count = 0
+        metrics = simulator.obs.metrics
+        self._m_placements = metrics.counter("storage.placements")
+        self._m_copies = metrics.counter("storage.copies")
+        self._m_copy_s = metrics.histogram("storage.copy_s")
 
     # -- device pool ---------------------------------------------------------
     def add_device(self, device: Device) -> Device:
@@ -77,6 +81,7 @@ class PlacementManager:
         extent = device.allocate(nbytes)
         placement = Placement(vid, device_name, extent, nbytes)
         self._placements[vid] = placement
+        self._m_placements.inc()
         return placement
 
     def place_auto(self, value: MediaValue) -> Placement:
@@ -177,16 +182,25 @@ class PlacementManager:
         read_res = src.reserve(rate, "copy-read")
         write_res = dst.reserve(rate, "copy-write")
         bits = nbytes * 8
+        started = self.simulator.now.seconds
+        span = self.simulator.obs.tracer.begin(
+            "placement.copy", "storage", track="placement",
+            src=src.name, dst=dst.name, nbytes=nbytes,
+        )
         try:
             yield from write_res.open()
             yield from read_res.read(bits)
             write_res.bits_written += bits
             dst.total_bits_written += bits
+            dst._m_bits_written.inc(bits)
         finally:
             read_res.release()
             write_res.release()
+            span.end()
         src.free(placement.extent)
         new_placement = Placement(placement.value_id, dst_device_name, new_extent, nbytes)
         self._placements[placement.value_id] = new_placement
         self.copy_count += 1
+        self._m_copies.inc()
+        self._m_copy_s.observe(self.simulator.now.seconds - started)
         return new_placement

@@ -23,6 +23,7 @@ from enum import Enum
 from typing import Deque, Generator, List, Optional
 
 from repro.errors import StorageError
+from repro.obs.metrics import DEPTH_BUCKETS
 from repro.sim import Delay, SimEvent, Simulator, WaitEvent
 
 
@@ -40,10 +41,18 @@ class DiskRequest:
     done: SimEvent = field(repr=False, default=None)
     submitted_at: float = 0.0
     completed_at: float = 0.0
+    #: virtual time by which the transfer must complete (None = best-effort);
+    #: a completion past the deadline counts as a ``storage.deadline_misses``.
+    deadline: Optional[float] = None
 
     @property
     def wait_seconds(self) -> float:
         return self.completed_at - self.submitted_at
+
+    @property
+    def missed_deadline(self) -> bool:
+        return (self.deadline is not None and self.completed_at > 0
+                and self.completed_at > self.deadline + 1e-12)
 
 
 class DiskScheduler:
@@ -77,9 +86,18 @@ class DiskScheduler:
         self._running = False
         self.total_seek_distance = 0
         self.requests_served = 0
+        self.deadline_misses = 0
+        metrics = simulator.obs.metrics
+        self._m_requests = metrics.counter("storage.disk_requests")
+        self._m_seeks = metrics.counter("storage.seek_cylinders")
+        self._m_wait_s = metrics.histogram("storage.disk_wait_s")
+        self._m_queue_depth = metrics.histogram("storage.disk_queue_depth",
+                                                buckets=DEPTH_BUCKETS)
+        self._m_misses = metrics.counter("storage.deadline_misses")
 
     # -- client API ----------------------------------------------------------
-    def submit(self, position: int, bits: int) -> DiskRequest:
+    def submit(self, position: int, bits: int,
+               deadline: Optional[float] = None) -> DiskRequest:
         """Queue a request; wait on ``request.done`` for completion."""
         if not 0 <= position < self.cylinders:
             raise StorageError(
@@ -88,15 +106,19 @@ class DiskScheduler:
         if bits < 0:
             raise StorageError(f"transfer size must be >= 0, got {bits}")
         request = DiskRequest(position, bits, self.simulator.event("disk-done"),
-                              submitted_at=self.simulator.now.seconds)
+                              submitted_at=self.simulator.now.seconds,
+                              deadline=deadline)
         self._queue.append(request)
+        self._m_requests.inc()
+        self._m_queue_depth.observe(len(self._queue))
         if self._wake is not None and not self._wake.triggered:
             self._wake.trigger()
         return request
 
-    def read(self, position: int, bits: int) -> Generator:
+    def read(self, position: int, bits: int,
+             deadline: Optional[float] = None) -> Generator:
         """DES subroutine: submit and wait."""
-        request = self.submit(position, bits)
+        request = self.submit(position, bits, deadline)
         yield WaitEvent(request.done)
         return request
 
@@ -133,13 +155,25 @@ class DiskScheduler:
             request = self._pick()
             distance = abs(request.position - self.head_position)
             self.total_seek_distance += distance
+            self._m_seeks.inc(distance)
             self.head_position = request.position
+            tracer = self.simulator.obs.tracer
+            span = tracer.begin(
+                "disk.service", "storage", track=f"disk-{self.policy.value}",
+                position=request.position, bits=request.bits,
+            ) if tracer.enabled else None
             service = distance * self.seek_per_cylinder_s \
                 + request.bits / self.transfer_bps
             if service > 0:
                 yield Delay(service)
             request.completed_at = self.simulator.now.seconds
             self.requests_served += 1
+            self._m_wait_s.observe(request.wait_seconds)
+            if request.missed_deadline:
+                self.deadline_misses += 1
+                self._m_misses.inc()
+            if span is not None:
+                span.end(seek_cylinders=distance)
             request.done.trigger(request)
 
     def mean_wait(self, requests: List[DiskRequest]) -> float:

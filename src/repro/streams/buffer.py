@@ -17,6 +17,7 @@ from collections import deque
 from typing import Any, Deque, Generator
 
 from repro.errors import SimulationError
+from repro.obs.metrics import DEPTH_BUCKETS
 from repro.sim import SimEvent, Simulator, WaitEvent
 
 
@@ -37,6 +38,12 @@ class StreamBuffer:
         self.producer_stalls = 0
         self.consumer_stalls = 0
         self.high_watermark = 0
+        metrics = simulator.obs.metrics
+        self._m_put = metrics.counter("stream.elements_buffered")
+        self._m_producer_stalls = metrics.counter("stream.producer_stalls")
+        self._m_consumer_stalls = metrics.counter("stream.consumer_stalls")
+        self._m_occupancy = metrics.histogram("stream.buffer_occupancy",
+                                              buckets=DEPTH_BUCKETS)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -53,12 +60,17 @@ class StreamBuffer:
         """Generator subroutine: enqueue, stalling while full."""
         while self.full:
             self.producer_stalls += 1
+            self._m_producer_stalls.inc()
             event = self.simulator.event(f"{self.name}:not_full")
             self._not_full.append(event)
             yield WaitEvent(event)
         self._items.append(item)
         self.total_put += 1
-        self.high_watermark = max(self.high_watermark, len(self._items))
+        self._m_put.inc()
+        occupancy = len(self._items)
+        self._m_occupancy.observe(occupancy)
+        if occupancy > self.high_watermark:
+            self.high_watermark = occupancy
         if self._not_empty:
             self._not_empty.popleft().trigger()
 
@@ -66,6 +78,7 @@ class StreamBuffer:
         """Generator subroutine: dequeue, stalling while empty."""
         while self.empty:
             self.consumer_stalls += 1
+            self._m_consumer_stalls.inc()
             event = self.simulator.event(f"{self.name}:not_empty")
             self._not_empty.append(event)
             yield WaitEvent(event)

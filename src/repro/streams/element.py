@@ -9,10 +9,11 @@ transfer and traffic accounting charge for).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.avtime import WorldTime
+from repro.errors import SimulationError
 from repro.values.mediatype import MediaType
 
 
@@ -26,13 +27,26 @@ class StreamElement:
     media_type: MediaType
     size_bits: int
 
+    def __post_init__(self) -> None:
+        # Traffic accounting (channels, devices, obs counters) sums
+        # size_bits; a negative size would silently corrupt every total.
+        if self.size_bits < 0:
+            raise SimulationError(
+                f"stream element size_bits must be >= 0, got {self.size_bits} "
+                f"(element index {self.index})"
+            )
+
     def with_payload(self, payload: Any, media_type: MediaType | None = None,
                      size_bits: int | None = None) -> "StreamElement":
-        """A transformed copy (same timing identity, new payload)."""
-        return StreamElement(
+        """A transformed copy (same timing identity, new payload).
+
+        Uses :func:`dataclasses.replace`, so subclasses of
+        ``StreamElement`` keep their concrete type through transformer
+        chains.
+        """
+        return replace(
+            self,
             payload=payload,
-            index=self.index,
-            ideal_time=self.ideal_time,
             media_type=media_type or self.media_type,
             size_bits=self.size_bits if size_bits is None else size_bits,
         )

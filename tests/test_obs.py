@@ -1,0 +1,254 @@
+"""The observability layer: instruments, tracer, scoping, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEPTH_BUCKETS,
+    NULL_OBS,
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Obs,
+    Tracer,
+    attach,
+    chrome_trace,
+    chrome_trace_events,
+    current,
+    disabled,
+    scoped,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import Delay, Simulator
+
+
+class TestInstruments:
+    def test_counter_registration_and_aggregation(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.events_dispatched")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        # Get-or-create: same name returns the same instrument.
+        assert registry.counter("sim.events_dispatched") is counter
+        assert "sim.events_dispatched" in registry
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("db.page_reads")
+        with pytest.raises(MetricError, match="already registered as counter"):
+            registry.gauge("db.page_reads")
+
+    def test_gauge_high_watermark(self):
+        gauge = MetricsRegistry().gauge("storage.device.disk0.utilization")
+        gauge.set(0.5)
+        gauge.set(0.9)
+        gauge.set(0.2)
+        assert gauge.value == 0.2
+        assert gauge.high_watermark == 0.9
+
+    def test_histogram_bucketing(self):
+        histogram = Histogram("stream.buffer_occupancy", DEPTH_BUCKETS)
+        for value in (1, 1, 2, 3, 5, 200):
+            histogram.observe(value)
+        buckets = histogram.bucket_counts()
+        assert buckets["<=1"] == 2     # inclusive upper edges
+        assert buckets["<=2"] == 1
+        assert buckets["<=4"] == 1     # the 3
+        assert buckets["<=8"] == 1     # the 5
+        assert buckets["+inf"] == 1    # the 200 overflows
+        assert histogram.count == 6
+        assert histogram.min == 1 and histogram.max == 200
+        assert histogram.mean == pytest.approx(212 / 6)
+
+    def test_histogram_percentile_estimates(self):
+        histogram = Histogram("t", (1.0, 10.0, 100.0))
+        for _ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.percentile(50) == 1.0    # bucket upper edge
+        assert histogram.percentile(100) == 50.0  # capped at true max
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(MetricError, match="strictly increasing"):
+            Histogram("bad", (5.0, 1.0))
+        with pytest.raises(MetricError, match="at least one bucket"):
+            Histogram("empty", ())
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("net.bits_sent").inc(8)
+        registry.gauge("net.channel.c.utilization").set(0.25)
+        registry.histogram("sim.resource_wait_s").observe(0.002)
+        snapshot = registry.snapshot()
+        assert snapshot["net.bits_sent"] == 8
+        assert snapshot["net.channel.c.utilization"]["high_watermark"] == 0.25
+        assert snapshot["sim.resource_wait_s"]["count"] == 1
+        json.dumps(snapshot)  # must be serializable as-is
+
+
+class TestTracer:
+    def test_span_carries_virtual_and_wall_time(self):
+        clock = iter([2.0, 5.5])
+        tracer = Tracer(clock=lambda: next(clock))
+        span = tracer.begin("disk.service", "storage", track="disk0", seek=7)
+        span.end(outcome="ok")
+        (event,) = tracer.events
+        assert event.phase == "X"
+        assert event.ts == 2.0
+        assert event.dur == 3.5              # virtual duration
+        assert event.wall_dur >= 0.0         # wall duration, independently
+        assert event.args == {"seek": 7, "outcome": "ok"}
+
+    def test_span_nesting_with_virtual_timestamps(self):
+        times = iter([0.0, 1.0, 2.0, 4.0])
+        tracer = Tracer(clock=lambda: next(times))
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        inner.end()
+        outer.end()
+        inner_event, outer_event = tracer.events
+        assert inner_event.name == "inner"
+        assert (inner_event.ts, inner_event.dur) == (1.0, 1.0)
+        assert (outer_event.ts, outer_event.dur) == (0.0, 4.0)
+        # The inner span lies within the outer one on the virtual axis.
+        assert outer_event.ts <= inner_event.ts
+        assert inner_event.ts + inner_event.dur <= outer_event.ts + outer_event.dur
+
+    def test_span_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.begin("once")
+        span.end()
+        span.end()
+        assert len(tracer.events) == 1
+
+    def test_bind_clock_first_wins(self):
+        tracer = Tracer()
+        assert not tracer.clock_bound
+        tracer.bind_clock(lambda: 7.0)
+        tracer.bind_clock(lambda: 99.0)  # ignored
+        tracer.instant("mark")
+        assert tracer.events[0].ts == 7.0
+
+    def test_null_tracer_emits_nothing(self):
+        assert not NULL_TRACER.enabled
+        span = NULL_TRACER.begin("ignored", "cat", track="t", a=1)
+        span.end(b=2)
+        NULL_TRACER.instant("ignored")
+        NULL_TRACER.complete("ignored", "cat", 0.0, 1.0)
+        assert len(NULL_TRACER.events) == 0
+        assert len(NULL_TRACER) == 0
+
+
+class TestScoping:
+    def test_attach_precedence(self):
+        explicit = Obs()
+        with scoped() as ambient:
+            assert attach() is ambient
+            assert attach(explicit) is explicit
+        # Outside any scope: a fresh default with metrics on, tracing off.
+        fresh = attach()
+        assert fresh is not ambient
+        assert not fresh.tracing
+        assert current() is None
+
+    def test_nested_scopes(self):
+        with scoped(tracing=False) as outer:
+            with scoped() as inner:
+                assert current() is inner
+                assert inner.tracing
+            assert current() is outer
+
+    def test_disabled_scope_is_null(self):
+        with disabled() as obs:
+            assert obs is NULL_OBS
+            sim = Simulator()
+            assert sim.obs is NULL_OBS
+
+            def noop():
+                yield Delay(0.1)
+
+            sim.spawn(noop(), name="noop")
+            sim.run()
+        assert "sim.events_dispatched" not in NULL_OBS.metrics.names()
+
+    def test_simulator_binds_virtual_clock_in_scope(self):
+        def proc():
+            yield Delay(1.5)
+
+        with scoped() as obs:
+            sim = Simulator()
+            sim.spawn(proc(), name="worker")
+            sim.run()
+        spans = [e for e in obs.tracer.events if e.name == "worker"]
+        assert len(spans) == 1
+        assert spans[0].ts == 0.0
+        assert spans[0].dur == pytest.approx(1.5)  # virtual, not wall
+
+
+class TestExport:
+    def _traced_run(self):
+        def proc():
+            yield Delay(0.25)
+
+        with scoped() as obs:
+            sim = Simulator()
+            sim.obs.tracer.instant("mark", "test", track="marks", detail=1)
+            sim.spawn(proc(), name="p0")
+            sim.run()
+        return obs
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        obs = self._traced_run()
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(obs.tracer, path, obs.metrics)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {m["name"] for m in meta}
+        spans = [e for e in events if e["ph"] == "X" and e["name"] == "p0"]
+        assert len(spans) == 1
+        assert spans[0]["dur"] == pytest.approx(0.25 * 1e6)  # microseconds
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+        # Dual stamping: wall seconds ride along in args.
+        assert "wall_s" in spans[0]["args"]
+        assert doc["otherData"]["metrics"]["sim.processes_finished"] == 1
+
+    def test_chrome_trace_events_use_one_lane_per_track(self):
+        obs = self._traced_run()
+        events = chrome_trace_events(obs.tracer)
+        lanes = {e["args"]["name"]: e["tid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert set(lanes) == {"marks", "p0"}
+        assert len(set(lanes.values())) == 2
+
+    def test_jsonl_export(self, tmp_path):
+        obs = self._traced_run()
+        path = tmp_path / "events.jsonl"
+        write_jsonl(obs.tracer, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(obs.tracer.events)
+        assert {"phase", "name", "ts", "wall"} <= set(lines[0])
+
+    def test_text_summary_sections(self):
+        obs = self._traced_run()
+        report = text_summary(obs.metrics, obs.tracer, title="unit test")
+        assert "unit test" in report
+        assert "[sim]" in report
+        assert "sim.events_dispatched" in report
+        assert "trace" in report  # trailing trace-event line
+
+    def test_chrome_trace_without_metrics(self):
+        obs = self._traced_run()
+        doc = chrome_trace(obs.tracer)
+        assert "metrics" not in doc.get("otherData", {})
+        json.dumps(doc)

@@ -248,3 +248,54 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestKernelMetrics:
+    """The kernel publishes sim.* metrics on every run (no opt-in)."""
+
+    def test_dispatch_and_process_counters(self, sim):
+        def proc():
+            yield Delay(0.5)
+            yield Delay(0.5)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        metrics = sim.obs.metrics
+        assert metrics.counter("sim.events_dispatched").value > 0
+        assert metrics.counter("sim.processes_spawned").value == 2
+        assert metrics.counter("sim.processes_finished").value == 2
+        assert metrics.counter("sim.process_failures").value == 0
+
+    def test_failure_counter(self, sim):
+        def bad():
+            yield Delay(0.1)
+            raise RuntimeError("boom")
+
+        sim.spawn(bad())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sim.obs.metrics.counter("sim.process_failures").value == 1
+
+    def test_resource_wait_histogram(self, sim):
+        resource = SimResource(sim, capacity=1)
+
+        def holder():
+            yield Acquire(resource)
+            yield Delay(2.0)
+            yield Release(resource)
+
+        def waiter():
+            yield Delay(0.5)     # arrive while the holder has the unit
+            yield Acquire(resource)
+            yield Release(resource)
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        metrics = sim.obs.metrics
+        wait = metrics.histogram("sim.resource_wait_s")
+        assert wait.count == 2                       # one per grant
+        assert wait.max == pytest.approx(1.5)        # waiter queued 0.5 -> 2.0
+        assert metrics.counter("sim.resource_grants").value == 2
+        assert metrics.counter("sim.resource_waits").value == 1

@@ -230,3 +230,50 @@ class TestSyncGroup:
             current = group.max_skew()
             assert current >= previous - 1e-12
             previous = current
+
+
+class TestStreamMetrics:
+    """Streams publish buffer and presentation metrics by default."""
+
+    def test_buffer_occupancy_and_stalls(self, sim):
+        buffer = StreamBuffer(sim, capacity=2)
+
+        def producer():
+            for i in range(5):
+                yield from buffer.put(i)
+
+        def consumer():
+            for _ in range(5):
+                yield Delay(0.1)     # slower than the producer: it stalls
+                yield from buffer.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        metrics = sim.obs.metrics
+        assert metrics.counter("stream.elements_buffered").value == 5
+        assert metrics.counter("stream.producer_stalls").value > 0
+        occupancy = metrics.histogram("stream.buffer_occupancy")
+        assert occupancy.count == 5
+        assert occupancy.max <= 2
+
+    def test_sink_latency_and_jitter_metrics(self, sim):
+        from repro.activities import ActivityGraph
+        from repro.activities.library import VideoReader, VideoWindow
+        from repro.synth import moving_scene
+
+        graph = ActivityGraph(sim)
+        reader = graph.add(VideoReader(sim, name="read",
+                                       jitter=RandomWalkJitter(0.002, seed=3)))
+        reader.bind(moving_scene(12, 32, 24))
+        window = graph.add(VideoWindow(sim, name="display"))
+        graph.connect(reader.port("video_out"), window.port("video_in"))
+        graph.run_to_completion()
+        metrics = sim.obs.metrics
+        assert metrics.counter("stream.elements_presented").value == 12
+        latency = metrics.histogram("stream.latency_ms")
+        assert latency.count == 12
+        assert latency.max > 0
+        jitter = metrics.histogram("stream.jitter_ms")
+        assert jitter.count == 11        # successive-presentation deltas
+        assert jitter.max > 0            # the jitter model really perturbed
