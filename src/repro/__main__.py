@@ -8,6 +8,11 @@ so a fresh checkout can be sanity-checked with a single command.
 enabled and writes a Chrome ``trace_event`` file (load it in Perfetto or
 ``chrome://tracing``), a JSONL event log, and a plain-text metrics
 summary.
+
+``python -m repro faults <scenario>`` runs a named fault-injection
+scenario (seeded, deterministic) and prints delivered-vs-negotiated QoS
+plus the ``faults.*`` counters; ``--compare`` runs it both with and
+without recovery under the identical fault schedule.
 """
 
 from __future__ import annotations
@@ -93,6 +98,36 @@ def trace(scenario_name: str, out_dir: Path) -> int:
     return 0
 
 
+def faults(scenario_name: str, seed: int, no_recovery: bool,
+           compare: bool) -> int:
+    """Run fault scenarios and print delivered-vs-negotiated QoS facts."""
+    from repro.faults import SCENARIOS
+    from repro.obs import scoped
+
+    if scenario_name == "all":
+        names = sorted(SCENARIOS)
+    elif scenario_name in SCENARIOS:
+        names = [scenario_name]
+    else:
+        options = ", ".join(sorted(SCENARIOS) + ["all"])
+        print(f"unknown fault scenario {scenario_name!r}; pick one of: {options}",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        modes = (True, False) if compare else (not no_recovery,)
+        for recover in modes:
+            # A fresh observability scope per run keeps counters from
+            # bleeding between scenarios in one process.
+            with scoped():
+                facts = SCENARIOS[name](seed=seed, recover=recover)
+            label = "recovery" if recover else "no recovery"
+            print(f"scenario {name!r} ({label}, seed {seed}):")
+            for key, value in facts.items():
+                print(f"  {key} = {value}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -106,9 +141,23 @@ def main(argv=None) -> int:
                               help="scenario name (default: quickstart)")
     trace_parser.add_argument("--out", type=Path, default=Path("traces"),
                               help="output directory (default: ./traces)")
+    faults_parser = sub.add_parser(
+        "faults", help="run a seeded fault-injection scenario and report QoS"
+    )
+    faults_parser.add_argument("scenario", nargs="?", default="disk-outage",
+                               help="fault scenario name, or 'all' "
+                                    "(default: disk-outage)")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="fault plan seed (default: 0)")
+    faults_parser.add_argument("--no-recovery", action="store_true",
+                               help="run without retry/degradation defenses")
+    faults_parser.add_argument("--compare", action="store_true",
+                               help="run both with and without recovery")
     args = parser.parse_args(argv)
     if args.command == "trace":
         return trace(args.scenario, args.out)
+    if args.command == "faults":
+        return faults(args.scenario, args.seed, args.no_recovery, args.compare)
     tour()
     return 0
 

@@ -62,8 +62,36 @@ class DeviceBusyError(ResourceError):
     """A non-shareable device is already allocated to another client."""
 
 
+class FaultError(AVDBError):
+    """An injected fault surfaced to the affected component (recoverable).
+
+    Faults are *expected* failures: the kernel records a process killed by
+    a :class:`FaultError` (or :class:`Interrupted`) as a fault, not a
+    programming failure, so ``Simulator.run()`` does not re-raise it.
+    Recovery policies (:mod:`repro.faults.recovery`) retry on this class.
+    """
+
+
+class DeviceFaultError(FaultError):
+    """An injected storage-device fault (outage) hit a transfer."""
+
+
+class ChannelFaultError(FaultError):
+    """An injected network fault dropped a transmission (mode='error')."""
+
+
 class StorageError(AVDBError):
     """Error in the simulated storage subsystem."""
+
+
+class SchedulerStoppedError(StorageError, FaultError):
+    """A disk request failed because the scheduler stopped.
+
+    Raised both for requests pending at ``DiskScheduler.stop()`` time and
+    for submissions against a stopped scheduler.  Inherits
+    :class:`FaultError` so retry policies treat it as recoverable (the
+    scheduler may be restarted, e.g. after an injected outage).
+    """
 
 
 class PlacementError(StorageError):
@@ -108,6 +136,19 @@ class CodecError(AVDBError):
 
 class SimulationError(AVDBError):
     """Misuse of the discrete-event simulation kernel."""
+
+
+class Interrupted(SimulationError):
+    """Thrown into a process by ``Process.interrupt()``.
+
+    Like :class:`FaultError`, an uncaught ``Interrupted`` marks the
+    process as faulted rather than failed, so the kill does not abort the
+    whole simulation run.
+    """
+
+
+class DeadlineExceeded(SimulationError):
+    """A ``Timeout`` command expired before its event/process completed."""
 
 
 class SessionError(AVDBError):

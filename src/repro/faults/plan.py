@@ -1,0 +1,206 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative schedule of faults against named
+targets — storage devices, the disk scheduler, network channels, and
+processes.  Plans are pure data: nothing happens until a
+:class:`~repro.faults.injector.FaultInjector` arms the plan against live
+components.  Because every time and parameter is fixed (either written
+explicitly or drawn from ``random.Random(seed)`` at *plan-build* time),
+the same plan replays the identical fault schedule on every run — which
+is what lets ``bench_fault_recovery.py`` compare recovery policies under
+byte-identical adversity.
+
+Fault kinds
+-----------
+``device-outage``
+    The device serves no transfers during ``[at, at + duration)``.  In
+    ``wait`` mode a transfer that hits the window blocks until it ends;
+    in ``error`` mode it raises :class:`~repro.errors.DeviceFaultError`.
+``device-slowdown``
+    Transfers starting inside the window take ``factor``× as long.
+``scheduler-outage``
+    ``DiskScheduler.stop()`` fires at ``at`` (failing queued requests)
+    and, when ``duration`` > 0, ``start()`` fires at ``at + duration``.
+``scheduler-slowdown``
+    The scheduler's ``service_scale`` is ``factor`` during the window.
+``channel-loss``
+    Each transmission is dropped with probability ``rate`` (seeded,
+    deterministic) and jittered by up to ``jitter_s``; ``retransmit``
+    mode recovers at the link layer (costing wire time), ``error`` mode
+    surfaces :class:`~repro.errors.ChannelFaultError`.
+``process-crash``
+    ``Process.interrupt(FaultError(...))`` at ``at``.
+``process-hang``
+    ``Process.abandon()`` at ``at`` — the process wedges forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+
+KINDS = (
+    "device-outage", "device-slowdown",
+    "scheduler-outage", "scheduler-slowdown",
+    "channel-loss",
+    "process-crash", "process-hang",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One scheduled fault against one named target."""
+
+    kind: str
+    target: str
+    at: float = 0.0
+    duration: float = 0.0
+    factor: float = 1.0      # slowdown multiplier
+    rate: float = 0.0        # loss probability (channel-loss)
+    jitter_s: float = 0.0    # max injected jitter per transmission
+    mode: str = "wait"       # outage/loss handling: "wait"/"retransmit"/"error"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise SimulationError(f"unknown fault kind {self.kind!r} (one of {KINDS})")
+        if self.at < 0 or self.duration < 0:
+            raise SimulationError(f"fault times must be >= 0 ({self})")
+        if not 0.0 <= self.rate <= 0.95:
+            raise SimulationError(
+                f"loss rate must be in [0, 0.95], got {self.rate} "
+                "(higher rates make expected retransmission counts explode)"
+            )
+        if self.factor < 1.0:
+            raise SimulationError(f"slowdown factor must be >= 1, got {self.factor}")
+
+    def describe(self) -> str:
+        parts = [f"t={self.at:g}s {self.kind} on {self.target!r}"]
+        if self.duration:
+            parts.append(f"for {self.duration:g}s")
+        if self.kind.endswith("slowdown"):
+            parts.append(f"x{self.factor:g}")
+        if self.kind == "channel-loss":
+            parts.append(f"loss={self.rate:.0%} jitter<={self.jitter_s:g}s ({self.mode})")
+        elif self.kind.endswith("outage"):
+            parts.append(f"({self.mode})")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seeded schedule of faults.
+
+    The ``seed`` does double duty: it seeds :meth:`randomized` plan
+    generation and the per-channel loss/jitter streams at arm time, so a
+    plan is fully determined by ``(seed, faults)``.
+    """
+
+    seed: int = 0
+    faults: List[Fault] = field(default_factory=list)
+
+    # -- builders ----------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def device_outage(self, target: str, at: float, duration: float,
+                      mode: str = "wait") -> "FaultPlan":
+        return self.add(Fault("device-outage", target, at, duration, mode=mode))
+
+    def device_slowdown(self, target: str, at: float, duration: float,
+                        factor: float) -> "FaultPlan":
+        return self.add(Fault("device-slowdown", target, at, duration, factor=factor))
+
+    def scheduler_outage(self, target: str, at: float,
+                         duration: float = 0.0) -> "FaultPlan":
+        """Stop the scheduler at ``at``; restart after ``duration`` (0 = never)."""
+        return self.add(Fault("scheduler-outage", target, at, duration))
+
+    def scheduler_slowdown(self, target: str, at: float, duration: float,
+                           factor: float) -> "FaultPlan":
+        return self.add(Fault("scheduler-slowdown", target, at, duration, factor=factor))
+
+    def channel_loss(self, target: str, rate: float, jitter_s: float = 0.0,
+                     mode: str = "retransmit") -> "FaultPlan":
+        if mode not in ("retransmit", "error"):
+            raise SimulationError(f"channel loss mode must be 'retransmit' or 'error', got {mode!r}")
+        return self.add(Fault("channel-loss", target, rate=rate,
+                              jitter_s=jitter_s, mode=mode))
+
+    def process_crash(self, target: str, at: float) -> "FaultPlan":
+        return self.add(Fault("process-crash", target, at))
+
+    def process_hang(self, target: str, at: float) -> "FaultPlan":
+        return self.add(Fault("process-hang", target, at))
+
+    # -- randomized generation ---------------------------------------------
+    @classmethod
+    def randomized(cls, seed: int, horizon_s: float,
+                   devices: Sequence[str] = (),
+                   schedulers: Sequence[str] = (),
+                   channels: Sequence[str] = (),
+                   processes: Sequence[str] = (),
+                   faults_per_target: int = 2,
+                   max_outage_s: float | None = None,
+                   loss_rate: float = 0.05) -> "FaultPlan":
+        """Draw a plan from ``Random(seed)`` — same arguments, same plan.
+
+        Outage/slowdown windows land in ``[0.1, 0.9) * horizon`` so the
+        workload is already running when they hit; each channel gets one
+        persistent loss model.
+        """
+        if horizon_s <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon_s}")
+        rng = random.Random(seed)
+        plan = cls(seed=seed)
+        max_outage = max_outage_s if max_outage_s is not None else horizon_s / 8
+        for name in devices:
+            for _ in range(faults_per_target):
+                at = rng.uniform(0.1, 0.9) * horizon_s
+                if rng.random() < 0.5:
+                    plan.device_outage(name, at, rng.uniform(0.2, 1.0) * max_outage)
+                else:
+                    plan.device_slowdown(name, at, rng.uniform(0.2, 1.0) * max_outage,
+                                         factor=rng.uniform(2.0, 6.0))
+        for name in schedulers:
+            for _ in range(faults_per_target):
+                plan.scheduler_outage(name, rng.uniform(0.1, 0.9) * horizon_s,
+                                      rng.uniform(0.2, 1.0) * max_outage)
+        for name in channels:
+            plan.channel_loss(name, rate=loss_rate,
+                              jitter_s=rng.uniform(0.0, 0.002))
+        for name in processes:
+            plan.process_crash(name, rng.uniform(0.1, 0.9) * horizon_s)
+        plan.sort()
+        return plan
+
+    # -- inspection --------------------------------------------------------
+    def sort(self) -> "FaultPlan":
+        self.faults.sort(key=lambda f: (f.at, f.kind, f.target))
+        return self
+
+    def for_target(self, target: str) -> List[Fault]:
+        return [f for f in self.faults if f.target == target]
+
+    def scaled(self, time_factor: float) -> "FaultPlan":
+        """A copy with every time stretched by ``time_factor``."""
+        return FaultPlan(self.seed, [
+            replace(f, at=f.at * time_factor, duration=f.duration * time_factor)
+            for f in self.faults
+        ])
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"fault plan (seed {self.seed}): empty"
+        lines = [f"fault plan (seed {self.seed}, {len(self.faults)} faults):"]
+        lines += [f"  {fault.describe()}" for fault in self.faults]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)

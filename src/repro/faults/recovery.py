@@ -1,0 +1,144 @@
+"""Failure-recovery policies, in virtual time.
+
+Three composable defenses against the faults :mod:`repro.faults.plan`
+injects:
+
+* :func:`with_retries` — retry a failed DES subroutine with exponential
+  backoff (virtual-time delays; attempt counts in ``faults.retries``);
+* :func:`with_deadline` — bound any operation with a kernel ``Timeout``,
+  interrupting the guarded process when the deadline passes (the defense
+  against hang faults);
+* :func:`supervised` — restart a crashed/hung/timed-out process up to
+  ``max_restarts`` times (``faults.restarts``).
+
+All are generator subroutines for DES processes::
+
+    request = yield from with_retries(sim, lambda: disk.read(pos, bits))
+    result  = yield from supervised(sim, make_worker, deadline_s=2.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Tuple, Type
+
+from repro.errors import DeadlineExceeded, FaultError, Interrupted
+from repro.sim import Delay, Process, Simulator, Timeout, WaitProcess
+
+#: what a recovery layer treats as transient by default: injected faults
+#: (device/channel/scheduler) and guard-level timeouts.
+TRANSIENT = (FaultError, DeadlineExceeded)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * factor**attempt``, capped.
+
+    ``max_attempts`` counts the first try, so ``max_attempts=4`` means
+    one try plus up to three retries.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.01
+    factor: float = 2.0
+    max_delay_s: float = 10.0
+    retry_on: Tuple[Type[BaseException], ...] = field(default=TRANSIENT)
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        return min(self.base_delay_s * self.factor ** retry_index, self.max_delay_s)
+
+
+def with_retries(simulator: Simulator,
+                 make_attempt: Callable[[], Generator],
+                 policy: RetryPolicy = RetryPolicy()) -> Generator:
+    """DES subroutine: run ``make_attempt()`` until it succeeds or the
+    policy is exhausted.
+
+    ``make_attempt`` must build a *fresh* generator per call (a generator
+    cannot be re-run).  On a retryable failure the subroutine sleeps the
+    policy's backoff in virtual time and tries again; the final failure
+    re-raises.
+    """
+    retries = simulator.obs.metrics.counter("faults.retries")
+    attempt = 0
+    while True:
+        try:
+            result = yield from make_attempt()
+            return result
+        except policy.retry_on:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            retries.inc()
+            yield Delay(policy.delay_for(attempt - 1))
+
+
+def with_deadline(simulator: Simulator, gen: Generator, seconds: float,
+                  name: str = "guarded") -> Generator:
+    """DES subroutine: run ``gen`` as a child process with a deadline.
+
+    Returns the child's result; re-raises the child's error.  When the
+    deadline passes first, the child is interrupted (so it cannot hold
+    resources forever) and :class:`~repro.errors.DeadlineExceeded`
+    propagates to the caller.
+    """
+    proc = simulator.spawn(gen, name=name)
+    try:
+        result = yield Timeout(proc, seconds)
+    except DeadlineExceeded:
+        proc.interrupt()
+        raise
+    return result
+
+
+def supervised(simulator: Simulator,
+               make_gen: Callable[[], Generator],
+               max_restarts: int = 3,
+               deadline_s: Optional[float] = None,
+               backoff: RetryPolicy = RetryPolicy(),
+               name: str = "supervised",
+               first_process: Optional[Process] = None) -> Generator:
+    """DES subroutine: run ``make_gen()`` as a process, restarting it when
+    it crashes (``FaultError``/``Interrupted``), hangs past ``deadline_s``,
+    or times out — up to ``max_restarts`` times, with backoff.
+
+    Pass ``first_process`` to adopt an already-spawned process as the
+    first attempt (useful when a fault injector must be armed against the
+    process before the supervisor starts); restarts still come from
+    ``make_gen()``.
+    """
+    restarts = simulator.obs.metrics.counter("faults.restarts")
+    failures = 0
+    while True:
+        if failures == 0 and first_process is not None:
+            proc = first_process
+        else:
+            attempt_name = f"{name}#{failures}" if failures else name
+            proc = simulator.spawn(make_gen(), name=attempt_name)
+        try:
+            if deadline_s is not None:
+                result = yield Timeout(proc, deadline_s)
+            else:
+                result = yield WaitProcess(proc)
+            return result
+        except DeadlineExceeded as exc:
+            proc.interrupt()  # a hung attempt must not keep resources
+            failure: BaseException = exc
+        except (FaultError, Interrupted) as exc:
+            failure = exc
+        failures += 1
+        if failures > max_restarts:
+            raise failure
+        restarts.inc()
+        yield Delay(backoff.delay_for(failures - 1))
+
+
+def fire_and_forget(result: Any = None) -> Generator:
+    """A degenerate subroutine: immediately return ``result``.
+
+    Useful as a stand-in attempt in tests and as the no-op branch of
+    conditional recovery pipelines.
+    """
+    return result
+    yield  # pragma: no cover - makes this a generator

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ChannelFaultError
 from repro.sim import Delay, Simulator
 
 _reservation_ids = itertools.count(1)
@@ -31,13 +31,37 @@ class Reservation:
         self.bits_transmitted = 0
         self.released = False
 
+    def _faulted_duration(self, bits: int, duration: float) -> float:
+        """Apply the channel's injected loss/jitter model, if armed.
+
+        In ``retransmit`` mode a dropped element is sent again (the link
+        layer recovers transparently, at the cost of wire time); in
+        ``error`` mode the drop surfaces as
+        :class:`~repro.errors.ChannelFaultError` for a higher-level
+        retry policy to handle.  Retransmitted bits are charged to the
+        channel's traffic accounting like any other traffic.
+        """
+        faults = self.channel.faults
+        if faults is None:
+            return duration
+        duration += faults.sample_jitter()
+        while faults.sample_drop(self.channel.name):
+            if faults.mode == "error":
+                raise ChannelFaultError(
+                    f"transmission of {bits} bits on {self.channel.name!r} dropped"
+                )
+            self.channel.retransmits += 1
+            self.channel._account(bits)
+            duration += bits / self.bps + faults.sample_jitter()
+        return duration
+
     def transmit(self, bits: int) -> Generator:
         """DES subroutine: occupy the reservation for the transfer time."""
         if self.released:
             raise AdmissionError(
                 f"reservation {self.label!r} on {self.channel.name!r} was released"
             )
-        duration = self.channel.latency_s + bits / self.bps
+        duration = self._faulted_duration(bits, self.channel.latency_s + bits / self.bps)
         if duration > 0:
             yield Delay(duration)
         self.bits_transmitted += bits
@@ -55,7 +79,7 @@ class Reservation:
             raise AdmissionError(
                 f"reservation {self.label!r} on {self.channel.name!r} was released"
             )
-        duration = bits / self.bps
+        duration = self._faulted_duration(bits, bits / self.bps)
         if duration > 0:
             yield Delay(duration)
         self.bits_transmitted += bits
@@ -90,6 +114,10 @@ class Channel:
         self._reservations: Dict[int, Reservation] = {}
         self.total_bits = 0
         self.admission_failures = 0
+        #: fault-injection hook: a :class:`repro.faults.injector.ChannelFaults`
+        #: (seeded loss/jitter model) armed by a FaultInjector, or None.
+        self.faults = None
+        self.retransmits = 0
         metrics = simulator.obs.metrics
         self._m_bits_sent = metrics.counter("net.bits_sent")
         self._m_admission_failures = metrics.counter("net.admission_failures")

@@ -152,8 +152,21 @@ def contention() -> Dict[str, object]:
     }
 
 
+def faults() -> Dict[str, object]:
+    """The disk-outage fault scenario under tracing.
+
+    The trace shows the injected scheduler outages as ``fault:*``
+    instants, failed requests, and the retry-with-backoff recovery that
+    keeps the four streams delivering (late) frames.
+    """
+    from repro.faults.scenarios import disk_outage
+
+    return disk_outage(seed=0, recover=True)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "quickstart": quickstart,
     "newscast": newscast,
     "contention": contention,
+    "faults": faults,
 }

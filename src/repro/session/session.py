@@ -41,7 +41,7 @@ from repro.activities.ports import Connection, Direction, Port
 from repro.avtime import WorldTime
 from repro.db.objects import DBObject, OID
 from repro.db.query import Predicate
-from repro.errors import SessionError
+from repro.errors import AdmissionError, SessionError
 from repro.net.channel import Channel
 from repro.quality.factors import AudioQuality, VideoQuality, parse_quality
 from repro.streams.sync import JitterModel
@@ -141,9 +141,12 @@ class Session:
         self._leases: List = []
         self._streams: List[Stream] = []
         self.closed = False
+        #: streams admitted at reduced bandwidth via ``connect(degrade=True)``.
+        self.degraded_streams = 0
         self.obs = system.simulator.obs
         metrics = self.obs.metrics
         self._m_streams_started = metrics.counter("session.streams_started")
+        self._m_degraded_sessions = metrics.counter("faults.degraded_sessions")
         self._m_notifications = metrics.counter("session.notifications")
         self._m_qos_ratio = metrics.histogram("session.qos_ratio",
                                               QOS_RATIO_BUCKETS)
@@ -262,12 +265,21 @@ class Session:
     def connect(self, source: Union[MediaActivity, Port],
                 sink: Union[MediaActivity, Port],
                 capacity: int = 8,
-                bandwidth_bps: Optional[float] = None) -> Stream:
+                bandwidth_bps: Optional[float] = None,
+                degrade: bool = False,
+                min_degraded_fraction: float = 0.25) -> Stream:
         """``new connection from <source>.out to <sink>.in``.
 
         Crossing the database/application boundary takes a bandwidth
         reservation on the session's channel — "this statement would fail
         if insufficient network bandwidth were available".
+
+        With ``degrade=True`` an insufficient-bandwidth failure is
+        renegotiated downward instead: the stream is admitted at the
+        channel's remaining capacity, as long as that is at least
+        ``min_degraded_fraction`` of the requested rate.  The element
+        flow then runs slower than the nominal presentation rate —
+        graceful QoS degradation rather than outright refusal.
         """
         self._require_open()
         graph = self.system.graph
@@ -284,13 +296,39 @@ class Session:
         reservation = None
         if self._crosses_boundary(source_port.resolve().owner, sink_port.resolve().owner):
             bps = bandwidth_bps or graph._port_bandwidth(source_port)
-            reservation = self.channel.reserve(bps, label=f"{self.name}-stream")
+            try:
+                reservation = self.channel.reserve(bps, label=f"{self.name}-stream")
+            except AdmissionError:
+                if not degrade:
+                    raise
+                reservation = self._degraded_reservation(bps, min_degraded_fraction)
         connection = graph.connect(source_port, sink_port, capacity, reservation)
         owners = [source if isinstance(source, MediaActivity) else source_port.owner,
                   sink if isinstance(sink, MediaActivity) else sink_port.owner]
         stream = Stream(self, [connection], owners)
         self._streams.append(stream)
         return stream
+
+    def _degraded_reservation(self, bps: float, min_fraction: float):
+        """Renegotiate a failed reservation down to the leftover capacity."""
+        available = self.channel.available_bps
+        if available < bps * min_fraction or available <= 0:
+            # Even the degraded contract cannot be honoured; the original
+            # admission failure stands.
+            raise AdmissionError(
+                f"channel {self.channel.name!r}: {available:g} b/s left, below "
+                f"the degraded floor of {bps * min_fraction:g} b/s "
+                f"({min_fraction:.0%} of the requested {bps:g} b/s)"
+            )
+        reservation = self.channel.reserve(available,
+                                           label=f"{self.name}-stream-degraded")
+        if self.degraded_streams == 0:
+            self._m_degraded_sessions.inc()
+        self.degraded_streams += 1
+        self.obs.metrics.gauge(
+            f"session.{self.name}.degraded_fraction"
+        ).set(available / bps)
+        return reservation
 
     @staticmethod
     def _crosses_boundary(a: MediaActivity, b: MediaActivity) -> bool:

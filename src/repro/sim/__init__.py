@@ -19,6 +19,7 @@ from repro.sim.kernel import (
     Release,
     SimEvent,
     Simulator,
+    Timeout,
     WaitEvent,
     WaitProcess,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "Delay",
     "WaitEvent",
     "WaitProcess",
+    "Timeout",
     "Acquire",
     "Release",
 ]

@@ -11,12 +11,34 @@ and an event queue.  User code is written as generator functions that yield
     payload.
 ``WaitProcess(proc)``
     Suspend until another process finishes; evaluates to its return value.
+    If the process failed, its error is re-raised at the yield point.
+``Timeout(target, seconds)``
+    Like ``WaitEvent``/``WaitProcess`` on ``target``, but with a deadline:
+    if the target has not completed after ``seconds`` virtual time,
+    :class:`~repro.errors.DeadlineExceeded` is raised at the yield point.
 ``Acquire(res)`` / ``Release(res)``
     Capacity-based resource handshake (see :mod:`repro.sim.resource`).
 
 Processes may also ``yield`` a nested generator, which runs as a subroutine
-(its return value becomes the value of the yield), so process logic can be
+(its return value becomes the value of the yield; an exception raised by
+the subroutine propagates to the caller's yield), so process logic can be
 factored into helper generators.
+
+Fault primitives (see :mod:`repro.faults`): ``Process.interrupt(exc)``
+throws an exception into a suspended process at the current virtual time
+(a *crash* fault); ``Process.abandon()`` wedges a process forever without
+completing it (a *hang* fault — its watchers stay blocked, which is what
+``Timeout`` defends against).  A process that dies from an
+:class:`~repro.errors.Interrupted` or :class:`~repro.errors.FaultError`
+is recorded as a *fault* (``sim.process_faults``), not a failure, and
+does not abort ``run()`` — so degradation under injected faults can be
+measured instead of exploding.
+
+Internally every suspension has an *epoch*: wakeups carry the epoch of
+the suspension they belong to and are discarded if the process has since
+been resumed by something else (an interrupt, a timeout, an earlier
+trigger).  That is what makes asynchronous interruption safe — a stale
+event trigger can never resume a process that has already moved on.
 
 Determinism: ties in the event queue break by (time, sequence number), so
 identical inputs replay identical schedules — which is what makes the
@@ -32,10 +54,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterator, Optional
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple, Union
 
 from repro.avtime import WorldTime
-from repro.errors import SimulationError
+from repro.errors import DeadlineExceeded, FaultError, Interrupted, SimulationError
 from repro.obs import Obs, attach
 
 ProcessGen = Generator[Any, Any, Any]
@@ -64,6 +86,25 @@ class WaitProcess:
     """Command: suspend until the process completes."""
 
     process: "Process"
+
+
+@dataclass(frozen=True, slots=True)
+class Timeout:
+    """Command: wait on an event or process, but give up after ``seconds``.
+
+    Evaluates to the event payload / process result when the target
+    completes in time; raises :class:`~repro.errors.DeadlineExceeded` at
+    the yield point when the deadline passes first.  A target completing
+    at *exactly* the deadline loses the tie (the timer was scheduled
+    first), which keeps the outcome deterministic.
+    """
+
+    target: Union["SimEvent", "Process"]
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError(f"cannot time out after a negative duration ({self.seconds})")
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,7 +137,7 @@ class SimEvent:
         self.name = name
         self._triggered = False
         self._payload: Any = None
-        self._waiters: list[Process] = []
+        self._waiters: List[Tuple[Process, int]] = []
 
     @property
     def triggered(self) -> bool:
@@ -114,21 +155,21 @@ class SimEvent:
         self._payload = payload
         self.simulator._m_triggered.inc()
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.simulator._schedule_resume(proc, payload)
+        for proc, epoch in waiters:
+            self.simulator._schedule_resume(proc, payload, epoch=epoch)
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._triggered:
             self.simulator._schedule_resume(proc, self._payload)
         else:
-            self._waiters.append(proc)
+            self._waiters.append((proc, proc._epoch))
 
 
 class Process:
     """A running simulation process wrapping a user generator."""
 
     __slots__ = ("simulator", "name", "_gen", "_stack", "done", "result", "error",
-                 "_watchers", "_span")
+                 "_watchers", "_span", "_epoch", "_abandoned")
 
     def __init__(self, simulator: "Simulator", gen: ProcessGen, name: str) -> None:
         self.simulator = simulator
@@ -139,17 +180,70 @@ class Process:
         self.done = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
-        self._watchers: list[Process] = []
+        self._watchers: List[Tuple[Process, int]] = []
         self._span = None  # lifetime trace span, set by spawn()
+        # Suspension epoch: incremented on every resume; pending wakeups
+        # from a previous suspension are discarded (see module docstring).
+        self._epoch = 0
+        self._abandoned = False
+
+    @property
+    def abandoned(self) -> bool:
+        return self._abandoned
+
+    def interrupt(self, error: Optional[BaseException] = None) -> None:
+        """Throw ``error`` into the process at the current virtual time.
+
+        The default is a fresh :class:`~repro.errors.Interrupted`.  The
+        exception is raised at the process's current yield point; the
+        process may catch it (cleanup, retry) or die from it — an
+        uncaught ``Interrupted``/``FaultError`` is recorded as a fault,
+        not a simulation failure.  No-op on a finished process.
+        """
+        if self.done or self._abandoned:
+            return
+        sim = self.simulator
+        exc = error if error is not None else Interrupted(
+            f"process {self.name!r} interrupted"
+        )
+
+        def fire() -> None:
+            if not self.done and not self._abandoned:
+                sim._step(self, None, throw=exc)
+
+        sim._push(sim._now, fire)
+
+    def abandon(self) -> None:
+        """Wedge the process forever (a simulated hang).
+
+        The process never completes: its watchers are never woken and its
+        pending wakeups are discarded.  Dependents waiting with plain
+        ``WaitProcess`` will deadlock — exactly the failure mode
+        ``Timeout`` exists to bound.  Counted as ``sim.process_faults``.
+        """
+        if self.done or self._abandoned:
+            return
+        self._abandoned = True
+        self._epoch += 1  # invalidate any pending wakeup
+        sim = self.simulator
+        sim.live_processes -= 1
+        sim._m_faults.inc()
+        if self._span is not None:
+            self._span.end(error="abandoned")
+            self._span = None
 
     def _add_watcher(self, proc: "Process") -> None:
         if self.done:
-            self.simulator._schedule_resume(proc, self.result)
+            if self.error is not None:
+                self.simulator._schedule_throw(proc, self.error, proc._epoch)
+            else:
+                self.simulator._schedule_resume(proc, self.result)
         else:
-            self._watchers.append(proc)
+            self._watchers.append((proc, proc._epoch))
 
     def __repr__(self) -> str:
-        state = "done" if self.done else "running"
+        state = ("done" if self.done
+                 else "abandoned" if self._abandoned else "running")
         return f"Process({self.name!r}, {state})"
 
 
@@ -167,7 +261,13 @@ class Simulator:
         self._queue: list[_QueueEntry] = []
         self._seq = 0
         self._now = 0.0
-        self._processes: list[Process] = []
+        #: number of spawned processes that have not finished (nor been
+        #: abandoned) — bounded bookkeeping; finished processes are not
+        #: retained by the kernel.
+        self.live_processes = 0
+        #: the first non-fault process error, recorded at finish time and
+        #: re-raised by every subsequent ``run()``.
+        self._first_failure: Optional[BaseException] = None
         self.obs = attach(obs)
         self.obs.tracer.bind_clock(lambda: self._now)
         metrics = self.obs.metrics
@@ -175,6 +275,7 @@ class Simulator:
         self._m_spawned = metrics.counter("sim.processes_spawned")
         self._m_finished = metrics.counter("sim.processes_finished")
         self._m_failures = metrics.counter("sim.process_failures")
+        self._m_faults = metrics.counter("sim.process_faults")
         self._m_triggered = metrics.counter("sim.events_triggered")
 
     # -- clock -----------------------------------------------------------
@@ -192,7 +293,7 @@ class Simulator:
         if not isinstance(gen, Iterator):
             raise SimulationError(f"spawn() requires a generator, got {type(gen).__name__}")
         proc = Process(self, gen, name)
-        self._processes.append(proc)
+        self.live_processes += 1
         self._m_spawned.inc()
         if self.obs.tracer.enabled:
             proc._span = self.obs.tracer.begin(name, "sim.process", track=name)
@@ -208,8 +309,9 @@ class Simulator:
     def run(self, until: Optional[WorldTime] = None) -> WorldTime:
         """Run until the queue drains or the clock passes ``until``.
 
-        Returns the final virtual time.  If any process raised, the first
-        failure propagates after being recorded on the process.
+        Returns the final virtual time.  If any process raised (other
+        than dying from an injected fault), the first such failure
+        propagates after being recorded on the process.
         """
         limit = until.seconds if until is not None else None
         while self._queue:
@@ -224,9 +326,8 @@ class Simulator:
         else:
             if limit is not None:
                 self._now = max(self._now, limit)
-        failed = next((p for p in self._processes if p.error is not None), None)
-        if failed is not None:
-            raise failed.error
+        if self._first_failure is not None:
+            raise self._first_failure
         return self.now
 
     def run_until_complete(self, proc: Process) -> Any:
@@ -247,16 +348,45 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, _QueueEntry(time, self._seq, action))
 
-    def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0) -> None:
-        self._push(self._now + delay, lambda: self._step(proc, value))
+    def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0,
+                         epoch: Optional[int] = None) -> None:
+        """Schedule ``proc`` to resume with ``value``.
 
-    def _step(self, proc: Process, send_value: Any) -> None:
-        if proc.done:
+        ``epoch`` is the suspension the wakeup belongs to (default: the
+        current one); the wakeup is dropped if the process has since been
+        resumed by something else.
+        """
+        wake_epoch = proc._epoch if epoch is None else epoch
+
+        def action() -> None:
+            if proc._epoch == wake_epoch and not proc.done and not proc._abandoned:
+                self._step(proc, value)
+
+        self._push(self._now + delay, action)
+
+    def _schedule_throw(self, proc: Process, exc: BaseException,
+                        epoch: int, delay: float = 0.0) -> None:
+        """Schedule ``exc`` to be raised at ``proc``'s yield point."""
+
+        def action() -> None:
+            if proc._epoch == epoch and not proc.done and not proc._abandoned:
+                self._step(proc, None, throw=exc)
+
+        self._push(self._now + delay, action)
+
+    def _step(self, proc: Process, send_value: Any,
+              throw: Optional[BaseException] = None) -> None:
+        if proc.done or proc._abandoned:
             return
+        proc._epoch += 1
         while True:
             gen = proc._stack[-1]
             try:
-                command = gen.send(send_value)
+                if throw is not None:
+                    exc, throw = throw, None
+                    command = gen.throw(exc)
+                else:
+                    command = gen.send(send_value)
             except StopIteration as stop:
                 proc._stack.pop()
                 if proc._stack:
@@ -265,7 +395,14 @@ class Simulator:
                     continue
                 self._finish(proc, stop.value, None)
                 return
-            except BaseException as exc:  # noqa: BLE001 - recorded and re-raised by run()
+            except BaseException as exc:  # noqa: BLE001 - recorded / propagated
+                proc._stack.pop()
+                if proc._stack:
+                    # Subroutine raised: propagate into the caller, which
+                    # may catch it at its yield point.
+                    throw = exc
+                    send_value = None
+                    continue
                 self._finish(proc, None, exc)
                 return
             if isinstance(command, Delay):
@@ -276,6 +413,22 @@ class Simulator:
                 return
             if isinstance(command, WaitProcess):
                 command.process._add_watcher(proc)
+                return
+            if isinstance(command, Timeout):
+                epoch = proc._epoch
+                target = command.target
+                if isinstance(target, Process):
+                    target._add_watcher(proc)
+                else:
+                    target._add_waiter(proc)
+                self._schedule_throw(
+                    proc,
+                    DeadlineExceeded(
+                        f"timed out after {command.seconds:g}s waiting for "
+                        f"{getattr(target, 'name', target)!r}"
+                    ),
+                    epoch, delay=command.seconds,
+                )
                 return
             if isinstance(command, Acquire):
                 command.resource._acquire(proc, command.amount)
@@ -299,12 +452,23 @@ class Simulator:
         proc.done = True
         proc.result = result
         proc.error = error
+        self.live_processes -= 1
         self._m_finished.inc()
         if error is not None:
-            self._m_failures.inc()
+            if isinstance(error, (FaultError, Interrupted)):
+                # An injected fault killed the process: expected, measured,
+                # and never escalated to a run() abort.
+                self._m_faults.inc()
+            else:
+                self._m_failures.inc()
+                if self._first_failure is None:
+                    self._first_failure = error
         if proc._span is not None:
             proc._span.end() if error is None else proc._span.end(error=repr(error))
             proc._span = None
         watchers, proc._watchers = proc._watchers, []
-        for watcher in watchers:
-            self._schedule_resume(watcher, result)
+        for watcher, epoch in watchers:
+            if error is not None:
+                self._schedule_throw(watcher, error, epoch)
+            else:
+                self._schedule_resume(watcher, result, epoch=epoch)

@@ -43,7 +43,10 @@ class SimResource:
         self.name = name
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: Deque[Tuple["Process", int, float]] = deque()
+        # (process, amount, queued_at, suspension epoch); the epoch lets
+        # _release() skip waiters that were interrupted while queued
+        # instead of granting capacity to a process that moved on.
+        self._waiters: Deque[Tuple["Process", int, float, int]] = deque()
         self.wait_count = 0  # number of acquisitions that had to queue
         self.grant_count = 0
         metrics = simulator.obs.metrics
@@ -73,7 +76,7 @@ class SimResource:
         else:
             self.wait_count += 1
             self._m_waits.inc()
-            self._waiters.append((proc, amount, self.simulator._now))
+            self._waiters.append((proc, amount, self.simulator._now, proc._epoch))
 
     def _release(self, amount: int) -> None:
         if amount <= 0 or amount > self.in_use:
@@ -82,7 +85,11 @@ class SimResource:
             )
         self.in_use -= amount
         while self._waiters:
-            proc, want, queued_at = self._waiters[0]
+            proc, want, queued_at, epoch = self._waiters[0]
+            if proc.done or proc._abandoned or proc._epoch != epoch:
+                # Interrupted (or wedged) while queued: the claim lapses.
+                self._waiters.popleft()
+                continue
             if want > self.available:
                 break
             self._waiters.popleft()
@@ -90,7 +97,7 @@ class SimResource:
             self.grant_count += 1
             self._m_grants.inc()
             self._m_wait_s.observe(self.simulator._now - queued_at)
-            self.simulator._schedule_resume(proc, None)
+            self.simulator._schedule_resume(proc, None, epoch=epoch)
 
     def __repr__(self) -> str:
         return f"SimResource({self.name!r}, {self.in_use}/{self.capacity} in use)"

@@ -59,6 +59,16 @@ class DeviceReservation:
         if not self._positioned:
             yield from self.open()
         duration = bits / self.bps
+        faults = self.device.faults
+        if faults is not None:
+            # Injected outage/slowdown windows (see repro.faults.injector):
+            # an outage blocks the transfer until the window ends (or
+            # raises, per the plan's mode); a slowdown stretches it.
+            wait_s, duration = faults.adjust(
+                self.device.simulator.now.seconds, duration, self.device.name
+            )
+            if wait_s > 0:
+                yield Delay(wait_s)
         if duration > 0:
             yield Delay(duration)
 
@@ -87,6 +97,9 @@ class Device:
     """A storage device: capacity, streaming bandwidth, latency model."""
 
     kind = "device"
+    #: fault-injection hook: a :class:`repro.faults.injector.DeviceFaults`
+    #: (outage/slowdown windows) armed by a FaultInjector, or None.
+    faults = None
 
     def __init__(self, simulator: Simulator, name: str, capacity_bytes: int,
                  bandwidth_bps: float, seek_s: float = 0.0) -> None:

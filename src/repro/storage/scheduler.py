@@ -13,6 +13,13 @@ the head position explicitly and implements the two classic policies:
 ``DiskScheduler`` runs as a DES server process: clients submit
 :class:`DiskRequest` objects and wait on per-request events; the bench
 ``bench_ablation_scheduler.py`` measures the policy gap.
+
+Shutdown semantics: ``stop()`` *fails* every queued request (each
+``done`` event fires with the request carrying a
+:class:`~repro.errors.SchedulerStoppedError`) so no waiter is ever
+stranded; ``stop(drain=True)`` / ``drain()`` instead serves the backlog
+before the server exits.  A stopped scheduler can be restarted with
+``start()`` — which is how the fault injector models a disk outage.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Deque, Generator, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import SchedulerStoppedError, StorageError
 from repro.obs.metrics import DEPTH_BUCKETS
 from repro.sim import Delay, SimEvent, Simulator, WaitEvent
 
@@ -40,18 +47,34 @@ class DiskRequest:
     bits: int           # transfer size
     done: SimEvent = field(repr=False, default=None)
     submitted_at: float = 0.0
-    completed_at: float = 0.0
+    #: virtual completion time; ``None`` until the transfer finishes (a
+    #: request really can complete at virtual time 0.0, so the sentinel
+    #: must not be a magic float).
+    completed_at: Optional[float] = None
     #: virtual time by which the transfer must complete (None = best-effort);
     #: a completion past the deadline counts as a ``storage.deadline_misses``.
     deadline: Optional[float] = None
+    #: why the request failed (e.g. the scheduler stopped); the ``done``
+    #: event still fires, with the request itself as payload.
+    error: Optional[BaseException] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def wait_seconds(self) -> float:
+        if self.completed_at is None:
+            raise StorageError("request has not completed")
         return self.completed_at - self.submitted_at
 
     @property
     def missed_deadline(self) -> bool:
-        return (self.deadline is not None and self.completed_at > 0
+        return (self.deadline is not None and self.completed_at is not None
                 and self.completed_at > self.deadline + 1e-12)
 
 
@@ -84,8 +107,14 @@ class DiskScheduler:
         self._queue: Deque[DiskRequest] = deque()
         self._wake: Optional[SimEvent] = None
         self._running = False
+        self._stopped = False   # started once, then stopped (rejects submits)
+        self._drain = False
+        #: fault-injection knob: service times are multiplied by this
+        #: factor (1.0 = healthy; >1 = injected slowdown).
+        self.service_scale = 1.0
         self.total_seek_distance = 0
         self.requests_served = 0
+        self.requests_failed = 0
         self.deadline_misses = 0
         metrics = simulator.obs.metrics
         self._m_requests = metrics.counter("storage.disk_requests")
@@ -94,6 +123,11 @@ class DiskScheduler:
         self._m_queue_depth = metrics.histogram("storage.disk_queue_depth",
                                                 buckets=DEPTH_BUCKETS)
         self._m_misses = metrics.counter("storage.deadline_misses")
+        self._m_failed = metrics.counter("storage.disk_requests_failed")
+
+    @property
+    def running(self) -> bool:
+        return self._running
 
     # -- client API ----------------------------------------------------------
     def submit(self, position: int, bits: int,
@@ -105,6 +139,10 @@ class DiskScheduler:
             )
         if bits < 0:
             raise StorageError(f"transfer size must be >= 0, got {bits}")
+        if self._stopped:
+            raise SchedulerStoppedError(
+                f"disk scheduler ({self.policy.value}) is stopped"
+            )
         request = DiskRequest(position, bits, self.simulator.event("disk-done"),
                               submitted_at=self.simulator.now.seconds,
                               deadline=deadline)
@@ -117,22 +155,57 @@ class DiskScheduler:
 
     def read(self, position: int, bits: int,
              deadline: Optional[float] = None) -> Generator:
-        """DES subroutine: submit and wait."""
+        """DES subroutine: submit and wait; raises if the request failed."""
         request = self.submit(position, bits, deadline)
         yield WaitEvent(request.done)
+        if request.error is not None:
+            raise request.error
         return request
 
     # -- the server process ------------------------------------------------
     def start(self) -> None:
+        """Start (or restart after ``stop()``) the server process."""
         if self._running:
             raise StorageError("disk scheduler already started")
         self._running = True
+        self._stopped = False
+        self._drain = False
         self.simulator.spawn(self._serve(), name=f"disk-{self.policy.value}")
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = False) -> None:
+        """Stop the server.
+
+        With ``drain=False`` (default) every queued request fails
+        immediately: its ``done`` event fires with the request carrying a
+        :class:`~repro.errors.SchedulerStoppedError`, so waiters always
+        wake instead of deadlocking.  With ``drain=True`` the backlog is
+        served first, then the server exits.  An in-flight transfer
+        always completes either way.
+        """
+        if not self._running:
+            return
         self._running = False
+        self._stopped = True
+        self._drain = drain
+        if not drain:
+            self._fail_pending(SchedulerStoppedError(
+                f"disk scheduler ({self.policy.value}) stopped with "
+                f"{len(self._queue)} requests queued"
+            ))
         if self._wake is not None and not self._wake.triggered:
             self._wake.trigger()
+
+    def drain(self) -> None:
+        """Stop after serving the current backlog (``stop(drain=True)``)."""
+        self.stop(drain=True)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        while self._queue:
+            request = self._queue.popleft()
+            request.error = error
+            self.requests_failed += 1
+            self._m_failed.inc()
+            request.done.trigger(request)
 
     def _pick(self) -> DiskRequest:
         if self.policy is Policy.FCFS:
@@ -146,12 +219,21 @@ class DiskScheduler:
         return chosen
 
     def _serve(self) -> Generator:
-        while self._running:
+        while True:
             if not self._queue:
+                if not self._running:
+                    return
                 self._wake = self.simulator.event("disk-wake")
                 yield WaitEvent(self._wake)
                 self._wake = None
                 continue
+            # Stopped without drain: stop() already failed the backlog;
+            # anything left here arrived in the same tick — fail it too.
+            if not self._running and not self._drain:
+                self._fail_pending(SchedulerStoppedError(
+                    f"disk scheduler ({self.policy.value}) stopped"
+                ))
+                return
             request = self._pick()
             distance = abs(request.position - self.head_position)
             self.total_seek_distance += distance
@@ -162,8 +244,8 @@ class DiskScheduler:
                 "disk.service", "storage", track=f"disk-{self.policy.value}",
                 position=request.position, bits=request.bits,
             ) if tracer.enabled else None
-            service = distance * self.seek_per_cylinder_s \
-                + request.bits / self.transfer_bps
+            service = (distance * self.seek_per_cylinder_s
+                       + request.bits / self.transfer_bps) * self.service_scale
             if service > 0:
                 yield Delay(service)
             request.completed_at = self.simulator.now.seconds
@@ -177,7 +259,7 @@ class DiskScheduler:
             request.done.trigger(request)
 
     def mean_wait(self, requests: List[DiskRequest]) -> float:
-        waits = [r.wait_seconds for r in requests if r.completed_at]
+        waits = [r.wait_seconds for r in requests if r.completed]
         if not waits:
             raise StorageError("no completed requests to average")
         return sum(waits) / len(waits)

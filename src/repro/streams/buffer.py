@@ -58,9 +58,14 @@ class StreamBuffer:
 
     def put(self, item: Any) -> Generator:
         """Generator subroutine: enqueue, stalling while full."""
+        stalled = False
         while self.full:
-            self.producer_stalls += 1
-            self._m_producer_stalls.inc()
+            if not stalled:
+                # One stall per blocking episode: a woken producer that is
+                # barged past and re-waits is still the *same* stall.
+                stalled = True
+                self.producer_stalls += 1
+                self._m_producer_stalls.inc()
             event = self.simulator.event(f"{self.name}:not_full")
             self._not_full.append(event)
             yield WaitEvent(event)
@@ -76,9 +81,12 @@ class StreamBuffer:
 
     def get(self) -> Generator:
         """Generator subroutine: dequeue, stalling while empty."""
+        stalled = False
         while self.empty:
-            self.consumer_stalls += 1
-            self._m_consumer_stalls.inc()
+            if not stalled:
+                stalled = True
+                self.consumer_stalls += 1
+                self._m_consumer_stalls.inc()
             event = self.simulator.event(f"{self.name}:not_empty")
             self._not_empty.append(event)
             yield WaitEvent(event)

@@ -3,13 +3,14 @@
 import pytest
 
 from repro.avtime import WorldTime
-from repro.errors import SimulationError
+from repro.errors import DeadlineExceeded, FaultError, Interrupted, SimulationError
 from repro.sim import (
     Acquire,
     Delay,
     Release,
     SimResource,
     Simulator,
+    Timeout,
     WaitEvent,
     WaitProcess,
 )
@@ -299,3 +300,156 @@ class TestKernelMetrics:
         assert wait.max == pytest.approx(1.5)        # waiter queued 0.5 -> 2.0
         assert metrics.counter("sim.resource_grants").value == 2
         assert metrics.counter("sim.resource_waits").value == 1
+
+
+class TestFaultPrimitives:
+    """interrupt(), abandon() and Timeout — the kernel surface the fault
+    injector is built on."""
+
+    def test_interrupt_is_catchable_at_the_yield_point(self, sim):
+        log = []
+
+        def proc():
+            try:
+                yield Delay(10.0)
+            except Interrupted:
+                log.append(sim.now.seconds)
+                yield Delay(1.0)       # the process may carry on afterwards
+                log.append(sim.now.seconds)
+
+        process = sim.spawn(proc())
+        sim.schedule_at(WorldTime(2.0), process.interrupt)
+        sim.run()
+        assert log == [pytest.approx(2.0), pytest.approx(3.0)]
+        assert process.done and process.error is None
+
+    def test_uncaught_interrupt_is_a_fault_not_a_failure(self, sim):
+        def proc():
+            yield Delay(10.0)
+
+        process = sim.spawn(proc())
+        sim.schedule_at(WorldTime(1.0), process.interrupt)
+        sim.run()                       # must NOT raise
+        assert isinstance(process.error, Interrupted)
+        metrics = sim.obs.metrics
+        assert metrics.counter("sim.process_faults").value == 1
+        assert metrics.counter("sim.process_failures").value == 0
+
+    def test_stale_wakeup_is_discarded_after_interrupt(self, sim):
+        # The epoch mechanism: a trigger registered before the interrupt
+        # must not resume the process out of a *later* suspension.
+        event = sim.event("stale")
+        log = []
+
+        def proc():
+            try:
+                yield WaitEvent(event)
+                log.append("event")
+            except Interrupted:
+                log.append("interrupted")
+            yield Delay(5.0)
+            log.append("slept")
+
+        process = sim.spawn(proc())
+        sim.schedule_at(WorldTime(1.0), process.interrupt)
+        sim.schedule_at(WorldTime(2.0), event.trigger)   # lands mid-Delay
+        end = sim.run()
+        assert log == ["interrupted", "slept"]
+        assert end.seconds == pytest.approx(6.0)         # Delay ran in full
+
+    def test_abandon_wedges_without_completing(self, sim):
+        def proc():
+            yield Delay(10.0)
+            return "never"
+
+        process = sim.spawn(proc())
+        assert sim.live_processes == 1
+        process.abandon()
+        assert sim.live_processes == 0
+        sim.run()
+        assert process.abandoned and not process.done
+        assert sim.obs.metrics.counter("sim.process_faults").value == 1
+
+    def test_timeout_passes_payload_when_target_is_in_time(self, sim):
+        event = sim.event("prompt")
+        sim.schedule_at(WorldTime(0.5), lambda: event.trigger("payload"))
+
+        def proc():
+            return (yield Timeout(event, 1.0))
+
+        assert sim.run_until_complete(sim.spawn(proc())) == "payload"
+
+    def test_timeout_raises_when_deadline_passes_first(self, sim):
+        event = sim.event("tardy")
+        sim.schedule_at(WorldTime(2.0), event.trigger)
+        when = []
+
+        def proc():
+            try:
+                yield Timeout(event, 1.0)
+            except DeadlineExceeded:
+                when.append(sim.now.seconds)
+
+        sim.spawn(proc())
+        sim.run()
+        assert when == [pytest.approx(1.0)]
+
+    def test_waitprocess_reraises_child_fault_in_watcher(self, sim):
+        def child():
+            yield Delay(1.0)
+            raise FaultError("injected")
+
+        child_proc = sim.spawn(child())
+
+        def parent():
+            try:
+                yield WaitProcess(child_proc)
+            except FaultError as exc:
+                return f"caught: {exc}"
+
+        parent_proc = sim.spawn(parent())
+        sim.run()
+        assert parent_proc.result == "caught: injected"
+
+    def test_subroutine_exception_propagates_to_caller(self, sim):
+        def sub():
+            yield Delay(0.5)
+            raise FaultError("inner")
+
+        def proc():
+            try:
+                yield sub()
+            except FaultError:
+                return "handled"
+
+        assert sim.run_until_complete(sim.spawn(proc())) == "handled"
+
+
+class TestRunBookkeeping:
+    """The kernel keeps a bounded live-process count and records the first
+    failure at finish time (it used to retain every process ever spawned
+    and rescan the list after each run)."""
+
+    def test_live_processes_drops_to_zero(self, sim):
+        def proc():
+            yield Delay(0.1)
+
+        for _ in range(50):
+            sim.spawn(proc())
+        assert sim.live_processes == 50
+        sim.run()
+        assert sim.live_processes == 0
+
+    def test_first_failure_by_finish_time_is_raised_and_persists(self, sim):
+        def fail_at(t, message):
+            yield Delay(t)
+            raise RuntimeError(message)
+
+        sim.spawn(fail_at(2.0, "second"))
+        sim.spawn(fail_at(1.0, "first"))
+        with pytest.raises(RuntimeError, match="first"):
+            sim.run()
+        # The failure is sticky: later runs re-raise it too.
+        with pytest.raises(RuntimeError, match="first"):
+            sim.run()
+        assert sim.obs.metrics.counter("sim.process_failures").value == 2

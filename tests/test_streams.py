@@ -92,6 +92,39 @@ class TestStreamBuffer:
         with pytest.raises(SimulationError):
             StreamBuffer(sim, capacity=0)
 
+    def test_one_stall_per_blocking_episode(self, sim):
+        # A blocked producer that is woken, barged past by another
+        # producer, and re-waits is still in the *same* stall — the
+        # counter used to tick once per wakeup-recheck iteration.
+        buffer = StreamBuffer(sim, capacity=1)
+
+        def producer():
+            yield from buffer.put("b0")
+            yield from buffer.put("b1")     # blocks; barged past twice
+
+        def consumer():
+            got = []
+            for _ in range(4):
+                yield Delay(1.0)
+                item = yield from buffer.get()
+                got.append(item)
+            return got
+
+        def thief():
+            # Runs after the consumer each tick: steals the freed slot
+            # before the blocked producer's wakeup fires.
+            for i in range(2):
+                yield Delay(1.0)
+                yield from buffer.put(f"t{i}")
+
+        sim.spawn(producer())
+        consumer_proc = sim.spawn(consumer())
+        sim.spawn(thief())
+        got = sim.run_until_complete(consumer_proc)
+        assert got == ["b0", "t0", "t1", "b1"]
+        assert buffer.producer_stalls == 1
+        assert sim.obs.metrics.counter("stream.producer_stalls").value == 1
+
 
 class TestPresentationLog:
     def make_log(self, latencies):
