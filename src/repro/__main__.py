@@ -13,6 +13,12 @@ summary.
 scenario (seeded, deterministic) and prints delivered-vs-negotiated QoS
 plus the ``faults.*`` counters; ``--compare`` runs it both with and
 without recovery under the identical fault schedule.
+
+``python -m repro overload <scenario>`` runs a named multi-client
+overload scenario through the admission controller and prints goodput,
+shedding, preemption and breaker facts plus a deterministic summary
+line; ``--no-admission`` runs the uncontrolled baseline and
+``--compare`` runs both regimes under the identical offered load.
 """
 
 from __future__ import annotations
@@ -128,6 +134,37 @@ def faults(scenario_name: str, seed: int, no_recovery: bool,
     return 0
 
 
+def overload(scenario_name: str, seed: int, no_admission: bool,
+             compare: bool) -> int:
+    """Run overload scenarios and print admission-vs-baseline facts."""
+    from repro.admission import SCENARIOS, summary_line
+    from repro.obs import scoped
+
+    if scenario_name == "all":
+        names = sorted(SCENARIOS)
+    elif scenario_name in SCENARIOS:
+        names = [scenario_name]
+    else:
+        options = ", ".join(sorted(SCENARIOS) + ["all"])
+        print(f"unknown overload scenario {scenario_name!r}; "
+              f"pick one of: {options}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        modes = (True, False) if compare else (not no_admission,)
+        for admission in modes:
+            # A fresh observability scope per run keeps admission.*
+            # counters from bleeding between runs in one process.
+            with scoped():
+                facts = SCENARIOS[name](seed=seed, admission=admission)
+            label = "admission" if admission else "no admission"
+            print(f"scenario {name!r} ({label}, seed {seed}):")
+            for key, value in facts.items():
+                print(f"  {key} = {value}")
+            print(summary_line(name, facts))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -153,11 +190,27 @@ def main(argv=None) -> int:
                                help="run without retry/degradation defenses")
     faults_parser.add_argument("--compare", action="store_true",
                                help="run both with and without recovery")
+    overload_parser = sub.add_parser(
+        "overload", help="run a seeded multi-client overload scenario "
+                         "through the admission controller"
+    )
+    overload_parser.add_argument("scenario", nargs="?", default="surge",
+                                 help="overload scenario name, or 'all' "
+                                      "(default: surge)")
+    overload_parser.add_argument("--seed", type=int, default=0,
+                                 help="workload seed (default: 0)")
+    overload_parser.add_argument("--no-admission", action="store_true",
+                                 help="run the uncontrolled baseline")
+    overload_parser.add_argument("--compare", action="store_true",
+                                 help="run both with and without admission")
     args = parser.parse_args(argv)
     if args.command == "trace":
         return trace(args.scenario, args.out)
     if args.command == "faults":
         return faults(args.scenario, args.seed, args.no_recovery, args.compare)
+    if args.command == "overload":
+        return overload(args.scenario, args.seed, args.no_admission,
+                        args.compare)
     tour()
     return 0
 

@@ -34,6 +34,30 @@ class ActivityGraph:
         self.activities[activity.name] = activity
         return activity
 
+    def remove(self, activity: MediaActivity) -> None:
+        """Remove a top-level activity and tear down its connections.
+
+        Connections touching the activity (or any component of it, for a
+        composite) are disconnected, which releases their channel
+        reservations.  Sessions call this on close so a long-lived system
+        does not accrete dead activities (the churn test pins this down).
+        """
+        registered = self.activities.get(activity.name)
+        if registered is not activity:
+            raise GraphError(
+                f"activity {activity.name!r} is not in graph {self.name!r}"
+            )
+        del self.activities[activity.name]
+        members = {id(a) for a in self._flatten(activity)}
+        survivors: List[Connection] = []
+        for connection in self.connections:
+            if (id(connection.source.owner) in members
+                    or id(connection.sink.owner) in members):
+                connection.disconnect()
+            else:
+                survivors.append(connection)
+        self.connections = survivors
+
     def connect(self, source: Port, sink: Port, capacity: int = 8,
                 reservation=None) -> Connection:
         """Create a type-checked connection between two ports.

@@ -93,6 +93,16 @@ class Port:
         if self.direction is not Direction.OUT:
             raise PortError(f"cannot send on 'in' port {self.full_name}")
         if self.connection is None:
+            owner = self.owner
+            from repro.activities.base import ActivityState
+            if owner is not None and (
+                    getattr(owner, "_stop_requested", False)
+                    or owner.state is not ActivityState.RUNNING):
+                # The connection was torn down while this activity was
+                # being stopped (session close removes its graph links);
+                # the element it was flushing has nowhere to go.  Drop it
+                # instead of failing the stopping process.
+                return
             raise PortError(f"port {self.full_name} is not connected")
         yield from self.connection.send(element)
 
@@ -100,6 +110,15 @@ class Port:
         if self.direction is not Direction.IN:
             raise PortError(f"cannot receive on 'out' port {self.full_name}")
         if self.connection is None:
+            owner = self.owner
+            from repro.activities.base import ActivityState
+            from repro.streams.element import END_OF_STREAM
+            if owner is not None and (
+                    getattr(owner, "_stop_requested", False)
+                    or owner.state is not ActivityState.RUNNING):
+                # Torn down while stopping (see ``send``): nothing more
+                # will ever arrive, so hand the consumer its end-of-stream.
+                return END_OF_STREAM
             raise PortError(f"port {self.full_name} is not connected")
         element = yield from self.connection.receive()
         return element

@@ -62,7 +62,12 @@ class SharedDevicePool:
 
 
 class DeviceLease:
-    """Holds one unit of a pool until released."""
+    """Holds one unit of a pool until released.
+
+    Usable as a context manager: ``with pool.allocate() as lease: ...``
+    gives the unit back on exit even when the body raises (exit is
+    idempotent; an explicit double ``release()`` still errors).
+    """
 
     def __init__(self, pool: SharedDevicePool, acquired: bool = False) -> None:
         self.pool = pool
@@ -74,6 +79,13 @@ class DeviceLease:
             raise ResourceError(f"{self.pool.kind!r} lease already released")
         self.released = True
         self.pool._release()
+
+    def __enter__(self) -> "DeviceLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.released:
+            self.release()
 
     def __repr__(self) -> str:
         state = "released" if self.released else "held"

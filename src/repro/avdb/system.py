@@ -70,6 +70,8 @@ class AVDatabaseSystem:
         #: from storage faster than real time so pipeline latency stays
         #: bounded (ablation knob).
         self.readahead = 2.0
+        #: the system-wide admission controller, once enabled.
+        self.admission = None
 
     # -- observability ----------------------------------------------------
     @property
@@ -101,13 +103,35 @@ class AVDatabaseSystem:
     # -- sessions ----------------------------------------------------------
     def open_session(self, name: Optional[str] = None,
                      channel_bps: float = 100_000_000.0,
-                     latency_s: float = 0.001):
-        """Open a client session over a dedicated network channel."""
+                     latency_s: float = 0.001,
+                     channel: Optional[Channel] = None):
+        """Open a client session over a network channel.
+
+        By default each session gets a dedicated channel sized
+        ``channel_bps``; pass ``channel`` to multiplex many sessions over
+        one shared trunk instead (the overload workloads do this, with an
+        admission controller arbitrating the trunk — see
+        :meth:`enable_admission`).
+        """
         from repro.session.session import Session
         session_name = name or f"session-{next(_session_ids)}"
-        channel = Channel(self.simulator, channel_bps, latency_s,
-                          name=f"{session_name}-channel")
+        if channel is None:
+            channel = Channel(self.simulator, channel_bps, latency_s,
+                              name=f"{session_name}-channel")
         return Session(self, session_name, channel)
+
+    def enable_admission(self, channel: Channel, **kwargs):
+        """Put an admission controller in front of ``channel``.
+
+        Sessions opened over the same channel route their connection-time
+        bandwidth reservations through the controller (priority classes,
+        degradation floors, watermark shedding) instead of raw
+        first-come-first-served ``channel.reserve``.  Returns the
+        controller; it is also available as ``system.admission``.
+        """
+        from repro.admission.controller import AdmissionController
+        self.admission = AdmissionController(self.simulator, channel, **kwargs)
+        return self.admission
 
     # -- dynamic source configuration (§4.3) -------------------------------
     def make_source(self, value: MediaValue, deliver: str = "stored",

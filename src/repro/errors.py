@@ -62,6 +62,14 @@ class DeviceBusyError(ResourceError):
     """A non-shareable device is already allocated to another client."""
 
 
+class AdmissionTimeoutError(AdmissionError):
+    """A queued admission request expired before capacity freed up."""
+
+
+class PreemptedError(AdmissionError):
+    """A granted reservation was revoked to admit higher-priority work."""
+
+
 class FaultError(AVDBError):
     """An injected fault surfaced to the affected component (recoverable).
 
@@ -78,6 +86,17 @@ class DeviceFaultError(FaultError):
 
 class ChannelFaultError(FaultError):
     """An injected network fault dropped a transmission (mode='error')."""
+
+
+class CircuitOpenError(AdmissionError, FaultError):
+    """A circuit breaker rejected a call without attempting it.
+
+    Raised while the breaker is open (the guarded component faulted
+    repeatedly) so callers fail fast instead of queue-piling behind a
+    dead resource.  Inherits :class:`FaultError` so retry policies treat
+    it as transient: backed-off retries line up with the breaker's
+    half-open probe window instead of hammering the fault.
+    """
 
 
 class StorageError(AVDBError):

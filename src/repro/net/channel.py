@@ -14,14 +14,19 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator
 
-from repro.errors import AdmissionError, ChannelFaultError
+from repro.errors import AdmissionError, ChannelFaultError, PreemptedError
 from repro.sim import Delay, Simulator
 
 _reservation_ids = itertools.count(1)
 
 
 class Reservation:
-    """A bandwidth slice of a channel, held by one stream."""
+    """A bandwidth slice of a channel, held by one stream.
+
+    Usable as a context manager: ``with channel.reserve(bps) as r: ...``
+    releases the bandwidth on exit even when the body raises, so partial
+    allocations cannot strand capacity.
+    """
 
     def __init__(self, channel: "Channel", bps: float, label: str) -> None:
         self.channel = channel
@@ -30,6 +35,13 @@ class Reservation:
         self.id = next(_reservation_ids)
         self.bits_transmitted = 0
         self.released = False
+        #: set when an admission controller revoked this reservation to
+        #: admit higher-priority work; subsequent transfers raise
+        #: :class:`~repro.errors.PreemptedError`.
+        self.preempted = False
+        #: optional callable invoked (once) after release; the admission
+        #: controller hooks this to re-pump its wait queue.
+        self.on_release = None
 
     def _faulted_duration(self, bits: int, duration: float) -> float:
         """Apply the channel's injected loss/jitter model, if armed.
@@ -55,12 +67,20 @@ class Reservation:
             duration += bits / self.bps + faults.sample_jitter()
         return duration
 
-    def transmit(self, bits: int) -> Generator:
-        """DES subroutine: occupy the reservation for the transfer time."""
+    def _require_live(self) -> None:
+        if self.preempted:
+            raise PreemptedError(
+                f"reservation {self.label!r} on {self.channel.name!r} was "
+                f"preempted for higher-priority work"
+            )
         if self.released:
             raise AdmissionError(
                 f"reservation {self.label!r} on {self.channel.name!r} was released"
             )
+
+    def transmit(self, bits: int) -> Generator:
+        """DES subroutine: occupy the reservation for the transfer time."""
+        self._require_live()
         duration = self._faulted_duration(bits, self.channel.latency_s + bits / self.bps)
         if duration > 0:
             yield Delay(duration)
@@ -75,10 +95,7 @@ class Reservation:
         clocked out; delivery happens ``latency_s`` later (the connection
         layer schedules it).
         """
-        if self.released:
-            raise AdmissionError(
-                f"reservation {self.label!r} on {self.channel.name!r} was released"
-            )
+        self._require_live()
         duration = self._faulted_duration(bits, bits / self.bps)
         if duration > 0:
             yield Delay(duration)
@@ -93,6 +110,15 @@ class Reservation:
         if not self.released:
             self.released = True
             self.channel._release(self)
+            if self.on_release is not None:
+                hook, self.on_release = self.on_release, None
+                hook(self)
+
+    def __enter__(self) -> "Reservation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
     def __repr__(self) -> str:
         return f"Reservation({self.label!r}, {self.bps:g} b/s on {self.channel.name!r})"

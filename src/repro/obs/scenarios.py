@@ -164,9 +164,22 @@ def faults() -> Dict[str, object]:
     return disk_outage(seed=0, recover=True)
 
 
+def overload() -> Dict[str, object]:
+    """The priority-mix admission scenario under tracing.
+
+    The trace shows the admission queue filling, two background streams
+    preempted to admit the interactive arrivals, and the ``admission.*``
+    counters (admitted / preempted / queue depth) in the summary.
+    """
+    from repro.admission.scenarios import priority_mix
+
+    return priority_mix(seed=0, admission=True)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "quickstart": quickstart,
     "newscast": newscast,
     "contention": contention,
     "faults": faults,
+    "overload": overload,
 }

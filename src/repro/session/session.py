@@ -38,6 +38,7 @@ from repro.activities import (
 )
 from repro.activities.library import Speaker, SubtitleWindow, VideoWindow
 from repro.activities.ports import Connection, Direction, Port
+from repro.admission.controller import Priority, QoSContract
 from repro.avtime import WorldTime
 from repro.db.objects import DBObject, OID
 from repro.db.query import Predicate
@@ -267,7 +268,8 @@ class Session:
                 capacity: int = 8,
                 bandwidth_bps: Optional[float] = None,
                 degrade: bool = False,
-                min_degraded_fraction: float = 0.25) -> Stream:
+                min_degraded_fraction: float = 0.25,
+                priority: Optional[Priority] = None) -> Stream:
         """``new connection from <source>.out to <sink>.in``.
 
         Crossing the database/application boundary takes a bandwidth
@@ -280,6 +282,13 @@ class Session:
         ``min_degraded_fraction`` of the requested rate.  The element
         flow then runs slower than the nominal presentation rate —
         graceful QoS degradation rather than outright refusal.
+
+        When the system has an admission controller in front of this
+        session's channel (``system.enable_admission``), the reservation
+        routes through it instead: ``priority`` selects the QoS class
+        (default :attr:`~repro.admission.Priority.STANDARD`), degradation
+        follows the same ``min_degraded_fraction`` floor, and background
+        requests can be shed under overload.
         """
         self._require_open()
         graph = self.system.graph
@@ -296,18 +305,46 @@ class Session:
         reservation = None
         if self._crosses_boundary(source_port.resolve().owner, sink_port.resolve().owner):
             bps = bandwidth_bps or graph._port_bandwidth(source_port)
-            try:
-                reservation = self.channel.reserve(bps, label=f"{self.name}-stream")
-            except AdmissionError:
-                if not degrade:
-                    raise
-                reservation = self._degraded_reservation(bps, min_degraded_fraction)
-        connection = graph.connect(source_port, sink_port, capacity, reservation)
+            reservation = self._reserve_bandwidth(bps, degrade,
+                                                  min_degraded_fraction,
+                                                  priority)
+        try:
+            connection = graph.connect(source_port, sink_port, capacity, reservation)
+        except BaseException:
+            # Statement 3 failed after admission succeeded: give the
+            # bandwidth back rather than stranding it on the channel.
+            if reservation is not None:
+                reservation.release()
+            raise
         owners = [source if isinstance(source, MediaActivity) else source_port.owner,
                   sink if isinstance(sink, MediaActivity) else sink_port.owner]
         stream = Stream(self, [connection], owners)
         self._streams.append(stream)
         return stream
+
+    def _reserve_bandwidth(self, bps: float, degrade: bool,
+                           min_fraction: float,
+                           priority: Optional[Priority]):
+        """Take the connection's channel reservation, via the admission
+        controller when one fronts this session's channel."""
+        admission = getattr(self.system, "admission", None)
+        if admission is not None and admission.channel is self.channel:
+            contract = QoSContract(
+                bps,
+                Priority.STANDARD if priority is None else priority,
+                min_fraction if degrade else 1.0,
+            )
+            reservation = admission.try_admit(contract,
+                                              label=f"{self.name}-stream")
+            if reservation.bps + 1e-9 < bps:
+                self._note_degraded(reservation.bps / bps)
+            return reservation
+        try:
+            return self.channel.reserve(bps, label=f"{self.name}-stream")
+        except AdmissionError:
+            if not degrade:
+                raise
+            return self._degraded_reservation(bps, min_fraction)
 
     def _degraded_reservation(self, bps: float, min_fraction: float):
         """Renegotiate a failed reservation down to the leftover capacity."""
@@ -322,13 +359,16 @@ class Session:
             )
         reservation = self.channel.reserve(available,
                                            label=f"{self.name}-stream-degraded")
+        self._note_degraded(available / bps)
+        return reservation
+
+    def _note_degraded(self, fraction: float) -> None:
         if self.degraded_streams == 0:
             self._m_degraded_sessions.inc()
         self.degraded_streams += 1
         self.obs.metrics.gauge(
             f"session.{self.name}.degraded_fraction"
-        ).set(available / bps)
-        return reservation
+        ).set(fraction)
 
     @staticmethod
     def _crosses_boundary(a: MediaActivity, b: MediaActivity) -> bool:
@@ -444,6 +484,19 @@ class Session:
             for connection in stream.connections:
                 if connection.reservation is not None:
                     connection.reservation.release()
+        # Give back device-bandwidth reservations and retire this
+        # session's activities from the system graph, so a long-lived
+        # system survives session churn without accreting state (the
+        # churn test opens and closes 100 sessions and checks the system
+        # ends exactly as it started).
+        graph = self.system.graph
+        for activity in self._activities:
+            for leaf in graph._flatten(activity):
+                io_stream = getattr(leaf, "io_stream", None)
+                if io_stream is not None and not getattr(io_stream, "released", True):
+                    io_stream.release()
+            if graph.activities.get(activity.name) is activity:
+                graph.remove(activity)
         self.closed = True
 
     def _require_open(self) -> None:
