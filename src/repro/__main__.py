@@ -19,6 +19,11 @@ overload scenario through the admission controller and prints goodput,
 shedding, preemption and breaker facts plus a deterministic summary
 line; ``--no-admission`` runs the uncontrolled baseline and
 ``--compare`` runs both regimes under the identical offered load.
+
+``python -m repro profile <scenario>`` runs any named scenario (from
+the trace, fault, or overload registry) under cProfile and prints the
+top-N hotspot report — the entry point for finding the next
+optimization target (see DESIGN.md "Performance").
 """
 
 from __future__ import annotations
@@ -165,6 +170,30 @@ def overload(scenario_name: str, seed: int, no_admission: bool,
     return 0
 
 
+def profile(scenario_name: str, top: int, sort: str,
+            out: Path | None) -> int:
+    """Profile a scenario and print (or write) the hotspot report."""
+    from repro.perf import available_scenarios, profile_scenario
+
+    try:
+        report, facts = profile_scenario(scenario_name, top=top, sort=sort)
+    except KeyError:
+        names = ", ".join(sorted(available_scenarios()))
+        print(f"unknown scenario {scenario_name!r}; pick one of: {names}",
+              file=sys.stderr)
+        return 2
+    print(report, end="")
+    if isinstance(facts, dict):
+        print("scenario facts:")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report)
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -203,7 +232,22 @@ def main(argv=None) -> int:
                                  help="run the uncontrolled baseline")
     overload_parser.add_argument("--compare", action="store_true",
                                  help="run both with and without admission")
+    profile_parser = sub.add_parser(
+        "profile", help="run a scenario under cProfile and report hotspots"
+    )
+    profile_parser.add_argument("scenario", nargs="?", default="quickstart",
+                                help="any trace/fault/overload scenario "
+                                     "name (default: quickstart)")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="number of hotspots to show (default: 15)")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=("cumulative", "tottime", "ncalls"),
+                                help="pstats sort key (default: cumulative)")
+    profile_parser.add_argument("--out", type=Path, default=None,
+                                help="also write the report to this file")
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        return profile(args.scenario, args.top, args.sort, args.out)
     if args.command == "trace":
         return trace(args.scenario, args.out)
     if args.command == "faults":

@@ -22,7 +22,6 @@ behaviour is the subclass's ``_process`` generator.
 from __future__ import annotations
 
 import abc
-import itertools
 from enum import Enum
 from typing import Any, Generator, Optional, Tuple
 
@@ -73,7 +72,17 @@ class ActivityKind(Enum):
         raise PortError("an activity must declare at least one port")
 
 
-_activity_counter = itertools.count(1)
+def _next_activity_ordinal(simulator: Simulator) -> int:
+    """Per-simulator ordinal for auto-generated activity names.
+
+    Keyed to the simulator (not a process-global counter) so a scenario's
+    activity names — which leak into trace track names — depend only on
+    construction order within its own simulation.  Rerunning a scenario in
+    the same process then yields byte-identical trace exports.
+    """
+    ordinal = getattr(simulator, "_activity_ordinal", 0) + 1
+    simulator._activity_ordinal = ordinal
+    return ordinal
 
 
 class MediaActivity(abc.ABC):
@@ -90,7 +99,8 @@ class MediaActivity(abc.ABC):
     def __init__(self, simulator: Simulator, name: Optional[str] = None,
                  location: Location = Location.APPLICATION) -> None:
         self.simulator = simulator
-        self.name = name or f"{type(self).__name__.lower()}-{next(_activity_counter)}"
+        self.name = name or (f"{type(self).__name__.lower()}"
+                             f"-{_next_activity_ordinal(simulator)}")
         self.location = location
         self.ports: dict[str, Port] = {}
         self.events = EventDispatcher(self.EVENT_NAMES)

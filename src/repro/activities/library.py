@@ -832,7 +832,10 @@ class AudioMixer(MediaActivity):
             for block in blocks:
                 acc += block.payload[:, :width].astype(np.int32)
             mixed = np.clip(acc, -32768, 32767).astype(np.int16)
-            yield from out_port.send(blocks[0].with_payload(mixed))
+            # The mix is truncated to the shortest input block, so the
+            # wire size must be restated rather than inherited.
+            yield from out_port.send(
+                blocks[0].with_payload(mixed, size_bits=mixed.size * 16))
             self.elements_processed += 1
         yield from out_port.send(END_OF_STREAM)
 

@@ -134,6 +134,10 @@ class AdmissionController:
         self.name = name
         self._seq = itertools.count(1)
         self._queue: List[Tuple[Tuple[int, int], _Pending]] = []
+        # Live (non-cancelled) queued entries, maintained incrementally
+        # so queue_depth is O(1) — it is published on every queue
+        # transition, which made the O(n) scan quadratic under load.
+        self._live_queued = 0
         #: reservation id -> (reservation, priority) for every live grant.
         self._held: Dict[int, Tuple[Reservation, Priority]] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
@@ -159,7 +163,7 @@ class AdmissionController:
 
     @property
     def queue_depth(self) -> int:
-        return sum(1 for _, e in self._queue if not e.cancelled)
+        return self._live_queued
 
     def holders(self, priority: Optional[Priority] = None) -> List[Reservation]:
         return [r for r, p in self._held.values()
@@ -276,12 +280,14 @@ class AdmissionController:
                          self.simulator.event(f"admit:{label}"),
                          self.simulator.now.seconds)
         heapq.heappush(self._queue, (entry.sort_key, entry))
+        self._live_queued += 1
         self._m_queued.inc()
         self._publish_depth()
         try:
             payload = yield Timeout(entry.event, contract.queue_timeout_s)
         except DeadlineExceeded:
             entry.cancelled = True
+            self._live_queued -= 1
             self._publish_depth()
             if entry.granted is not None:
                 # Granted in the same tick the deadline fired (the timer
@@ -315,6 +321,7 @@ class AdmissionController:
             # A strictly lower-priority request waits in the queue: shed
             # it to make room (lowest-priority work goes first).
             worst.cancelled = True
+            self._live_queued -= 1
             self._m_shed.inc()
             self._publish_depth()
             worst.event.trigger(_Shed("displaced by higher-priority request"))
@@ -354,6 +361,7 @@ class AdmissionController:
                 else:
                     break  # head of queue cannot be served; keep order
                 heapq.heappop(self._queue)
+                self._live_queued -= 1
                 entry.granted = self._grant(grant, contract, entry.label)
                 self._publish_depth()
                 entry.event.trigger(entry.granted)

@@ -64,19 +64,28 @@ def quant_table(quality: int) -> np.ndarray:
 
 
 def _pad_to_blocks(channel: np.ndarray) -> np.ndarray:
-    h, w = channel.shape
+    h, w = channel.shape[-2:]
     ph = (-h) % BLOCK
     pw = (-w) % BLOCK
     if ph or pw:
-        channel = np.pad(channel, ((0, ph), (0, pw)), mode="edge")
+        pad = [(0, 0)] * (channel.ndim - 2) + [(0, ph), (0, pw)]
+        channel = np.pad(channel, pad, mode="edge")
     return channel
 
 
 def _to_blocks(channel: np.ndarray) -> np.ndarray:
-    """(H, W) -> (H//8 * W//8, 8, 8) row-major block view."""
-    h, w = channel.shape
-    blocks = channel.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
-    return blocks.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK)
+    """(..., H, W) -> (... * H//8 * W//8, 8, 8) row-major block view.
+
+    Leading axes (channel / frame batches) come before the per-plane
+    block order, so a batched call produces exactly the per-plane block
+    streams concatenated.
+    """
+    h, w = channel.shape[-2:]
+    lead = channel.shape[:-2]
+    blocks = channel.reshape(*lead, h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+    axes = tuple(range(len(lead))) + (channel.ndim - 2, channel.ndim,
+                                      channel.ndim - 1, channel.ndim + 1)
+    return blocks.transpose(axes).reshape(-1, BLOCK, BLOCK)
 
 
 def _from_blocks(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
@@ -88,12 +97,17 @@ def _from_blocks(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
 def dct_quantize_channel(
     channel: np.ndarray, table: np.ndarray
 ) -> tuple[np.ndarray, tuple[int, int]]:
-    """Forward path: centered float plane -> (int16 coefficients, padded shape)."""
+    """Forward path: centered float plane(s) -> (int16 coefficients, padded shape).
+
+    Accepts one (H, W) plane or a stacked (..., H, W) batch — every 8x8
+    block goes through one batched matmul, and each block's arithmetic
+    is identical to the per-plane path (bit-identical output).
+    """
     padded = _pad_to_blocks(channel)
     blocks = _to_blocks(padded.astype(np.float64))
     coeffs = _DCT @ blocks @ _IDCT
     quantized = np.round(coeffs / table)
-    return quantized.astype(np.int16), padded.shape
+    return quantized.astype(np.int16), padded.shape[-2:]
 
 
 def dct_dequantize_channel(quantized: np.ndarray, table: np.ndarray,
@@ -134,14 +148,14 @@ class JPEGCodec(VideoCodec):
 
     def encode_frame(self, frame: np.ndarray) -> bytes:
         """Encode one frame (used directly by the interframe codec)."""
-        planes = _split_channels(np.asarray(frame))
-        encoded_planes = []
-        padded_shape = None
-        for plane in planes:
-            centered = plane.astype(np.float64) - 128.0
-            quantized, padded_shape = dct_quantize_channel(centered, self._table)
-            encoded_planes.append(quantized.tobytes())
-        payload = zlib.compress(b"".join(encoded_planes), level=6)
+        frame = np.asarray(frame)
+        # (C, H, W) channel stack: one batched matmul covers every block
+        # of every channel, and the int16 stream is laid out exactly as
+        # the per-plane streams concatenated.
+        stack = frame[None] if frame.ndim == 2 else frame.transpose(2, 0, 1)
+        centered = stack.astype(np.float64) - 128.0
+        quantized, padded_shape = dct_quantize_channel(centered, self._table)
+        payload = zlib.compress(quantized.tobytes(), level=6)
         header = self._HEADER.pack(self._MAGIC, self.quality,
                                    padded_shape[0], padded_shape[1])
         return header + payload
@@ -154,14 +168,12 @@ class JPEGCodec(VideoCodec):
         table = quant_table(quality)
         raw = zlib.decompress(chunk[self._HEADER.size:])
         channels = 1 if depth == 8 else 3
-        per_plane = len(raw) // channels
-        blocks_per_plane = (ph // BLOCK) * (pw // BLOCK)
+        quantized = np.frombuffer(raw, dtype=np.int16).reshape(-1, BLOCK, BLOCK)
+        coeffs = quantized.astype(np.float64) * table
+        blocks = (_IDCT @ coeffs @ _DCT).reshape(channels, -1, BLOCK, BLOCK)
         planes = []
         for c in range(channels):
-            quantized = np.frombuffer(
-                raw[c * per_plane:(c + 1) * per_plane], dtype=np.int16
-            ).reshape(blocks_per_plane, BLOCK, BLOCK)
-            plane = dct_dequantize_channel(quantized, table, (ph, pw), (height, width))
+            plane = _from_blocks(blocks[c], ph, pw)[:height, :width]
             planes.append(np.clip(plane + 128.0, 0, 255).astype(np.uint8))
         frame = _join_channels(planes, depth)
         self._check_geometry(frame, width, height, depth)
@@ -169,6 +181,18 @@ class JPEGCodec(VideoCodec):
 
     # -- VideoCodec interface --------------------------------------------
     def encode_frames(self, frames: Sequence[np.ndarray]) -> List[bytes]:
+        frames = [np.asarray(f) for f in frames]
+        if len(frames) > 1 and all(f.shape == frames[0].shape for f in frames):
+            # Uniform geometry: run every block of every frame through a
+            # single batched transform, then entropy-code per frame.
+            stack = np.stack(frames)
+            stack = stack[:, None] if stack.ndim == 3 else stack.transpose(0, 3, 1, 2)
+            centered = stack.astype(np.float64) - 128.0
+            quantized, (ph, pw) = dct_quantize_channel(centered, self._table)
+            per_frame = quantized.reshape(len(frames), -1)
+            header = self._HEADER.pack(self._MAGIC, self.quality, ph, pw)
+            return [header + zlib.compress(q.tobytes(), level=6)
+                    for q in per_frame]
         return [self.encode_frame(f) for f in frames]
 
     def decode_frame_at(self, chunks: Sequence[bytes], index: int,

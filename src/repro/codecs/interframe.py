@@ -48,9 +48,14 @@ class MPEGCodec(VideoCodec):
 
     # -- encoding ----------------------------------------------------------
     def encode_frames(self, frames: Sequence[np.ndarray]) -> List[bytes]:
-        """Encode a sequence as keyframes + reconstructed-reference deltas."""
+        """Encode a sequence as keyframes + reconstructed-reference deltas.
+
+        The rolling reconstructed reference is held as int16 (its values
+        stay in [0, 255], so the representation is lossless) — the delta
+        path then runs without any per-frame uint8<->int16 round trips.
+        """
         chunks: List[bytes] = []
-        reference: np.ndarray | None = None
+        reference: np.ndarray | None = None  # int16, values in [0, 255]
         for i, frame in enumerate(frames):
             frame = np.asarray(frame)
             if i % self.gop == 0:
@@ -58,16 +63,16 @@ class MPEGCodec(VideoCodec):
                 chunks.append(self._HEADER.pack(self._MAGIC, self._KEY) + intra_chunk)
                 height, width = frame.shape[:2]
                 depth = 8 if frame.ndim == 2 else 24
-                reference = self._intra.decode_frame(intra_chunk, width, height, depth)
+                reference = self._intra.decode_frame(
+                    intra_chunk, width, height, depth
+                ).astype(np.int16)
             else:
-                delta = frame.astype(np.int16) - reference.astype(np.int16)
+                delta = frame.astype(np.int16) - reference
                 quantized = (delta // self.delta_quant).astype(np.int8)
                 payload = zlib.compress(quantized.tobytes(), level=6)
                 chunks.append(self._HEADER.pack(self._MAGIC, self._DELTA) + payload)
                 restored = quantized.astype(np.int16) * self.delta_quant
-                reference = np.clip(
-                    reference.astype(np.int16) + restored, 0, 255
-                ).astype(np.uint8)
+                reference = np.clip(reference + restored, 0, 255)
         return chunks
 
     # -- decoding ----------------------------------------------------------
@@ -136,7 +141,11 @@ class _MPEGStreamEncoder:
         self._reference: np.ndarray | None = None
 
     def encode_next(self, frame: np.ndarray) -> bytes:
-        """Encode one live frame, keeping GOP and reference state."""
+        """Encode one live frame, keeping GOP and reference state.
+
+        The reference is held as int16 in [0, 255] (lossless), like
+        :meth:`MPEGCodec.encode_frames`.
+        """
         frame = np.asarray(frame)
         codec = self._codec
         if self._count % codec.gop == 0 or self._reference is None:
@@ -144,16 +153,16 @@ class _MPEGStreamEncoder:
             chunk = codec._HEADER.pack(codec._MAGIC, codec._KEY) + intra_chunk
             height, width = frame.shape[:2]
             depth = 8 if frame.ndim == 2 else 24
-            self._reference = codec._intra.decode_frame(intra_chunk, width, height, depth)
+            self._reference = codec._intra.decode_frame(
+                intra_chunk, width, height, depth
+            ).astype(np.int16)
         else:
-            delta = frame.astype(np.int16) - self._reference.astype(np.int16)
+            delta = frame.astype(np.int16) - self._reference
             quantized = (delta // codec.delta_quant).astype(np.int8)
             payload = zlib.compress(quantized.tobytes(), level=6)
             chunk = codec._HEADER.pack(codec._MAGIC, codec._DELTA) + payload
             restored = quantized.astype(np.int16) * codec.delta_quant
-            self._reference = np.clip(
-                self._reference.astype(np.int16) + restored, 0, 255
-            ).astype(np.uint8)
+            self._reference = np.clip(self._reference + restored, 0, 255)
         self._count += 1
         return chunk
 

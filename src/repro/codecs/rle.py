@@ -18,7 +18,13 @@ from repro.values.video import EncodedVideoValue, frame_shape
 
 
 def rle_encode_bytes(data: bytes) -> bytes:
-    """Encode a byte string as (count, value) pairs, max run 255."""
+    """Encode a byte string as (count, value) pairs, max run 255.
+
+    A run of length L > 255 is emitted as full (255, value) pairs
+    followed by one remainder pair (remainder in [1, 255]).  Fully
+    vectorized: the output is assembled as interleaved count/value
+    planes with no per-run Python loop.
+    """
     if not data:
         return b""
     arr = np.frombuffer(data, dtype=np.uint8)
@@ -26,17 +32,19 @@ def rle_encode_bytes(data: bytes) -> bytes:
     change = np.flatnonzero(np.diff(arr)) + 1
     starts = np.concatenate(([0], change))
     ends = np.concatenate((change, [arr.size]))
-    out = bytearray()
-    for start, end in zip(starts, ends):
-        value = arr[start]
-        run = int(end - start)
-        while run > 255:
-            out.append(255)
-            out.append(int(value))
-            run -= 255
-        out.append(run)
-        out.append(int(value))
-    return bytes(out)
+    counts = ends - starts
+    values = arr[starts]
+    # Runs longer than 255 split into ceil(L/255) pairs; the last pair
+    # of each run carries the remainder L - 255*(pairs-1) in [1, 255].
+    pairs = (counts + 254) // 255
+    remainders = counts - (pairs - 1) * 255
+    total = int(pairs.sum())
+    out = np.empty(total * 2, dtype=np.uint8)
+    out_counts = out[0::2]
+    out_counts[:] = 255
+    out_counts[np.cumsum(pairs) - 1] = remainders
+    out[1::2] = np.repeat(values, pairs)
+    return out.tobytes()
 
 
 def rle_decode_bytes(data: bytes) -> bytes:

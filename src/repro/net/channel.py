@@ -148,6 +148,18 @@ class Channel:
         self._m_bits_sent = metrics.counter("net.bits_sent")
         self._m_admission_failures = metrics.counter("net.admission_failures")
         self._m_utilization = metrics.gauge(f"net.channel.{name}.utilization")
+        # Traffic accounting is batched: _account() is one plain int add
+        # on total_bits (the exact source of truth); the shared
+        # net.bits_sent counter is settled from it by this flush hook
+        # whenever the registry is read (see MetricsRegistry.flush).
+        self._flushed_bits = 0
+        metrics.add_flush_hook(self._flush_traffic)
+
+    def _flush_traffic(self) -> None:
+        delta = self.total_bits - self._flushed_bits
+        if delta:
+            self._m_bits_sent.inc(delta)
+            self._flushed_bits = self.total_bits
 
     # -- admission control ---------------------------------------------------
     @property
@@ -180,7 +192,6 @@ class Channel:
 
     def _account(self, bits: int) -> None:
         self.total_bits += bits
-        self._m_bits_sent.inc(bits)
 
     # -- accounting ----------------------------------------------------------
     @property

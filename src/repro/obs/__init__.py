@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
 from repro.obs.export import (
+    canonical_trace_bytes,
     chrome_trace,
     chrome_trace_events,
     text_summary,
@@ -61,6 +62,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram",
     "TIME_BUCKETS_S", "LATENCY_BUCKETS_MS", "DEPTH_BUCKETS",
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceEvent",
+    "canonical_trace_bytes",
     "chrome_trace", "chrome_trace_events", "write_chrome_trace",
     "write_jsonl", "text_summary", "write_summary",
 ]

@@ -22,12 +22,19 @@ PathLike = Union[str, Path]
 # Chrome trace_event
 # ---------------------------------------------------------------------------
 
-def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+def chrome_trace_events(tracer: Tracer,
+                        canonical: bool = False) -> List[Dict[str, Any]]:
     """The tracer's events as Chrome ``trace_event`` dicts.
 
     One virtual process (pid 1) with one thread lane per span track;
     metadata events name the process and threads so Perfetto shows
     readable lanes.
+
+    With ``canonical=True`` the wall-clock stamps (``wall_s`` /
+    ``wall_dur_s``) are omitted, leaving only virtual-time data — the
+    export is then a pure function of the schedule, so byte-identical
+    output across runs proves the kernel's (time, seq) determinism (the
+    ``tests/test_determinism.py`` suite relies on this).
     """
     events: List[Dict[str, Any]] = [{
         "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
@@ -43,9 +50,10 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 "args": {"name": event.track},
             })
         args = dict(event.args) if event.args else {}
-        args["wall_s"] = round(event.wall, 6)
-        if event.wall_dur is not None:
-            args["wall_dur_s"] = round(event.wall_dur, 6)
+        if not canonical:
+            args["wall_s"] = round(event.wall, 6)
+            if event.wall_dur is not None:
+                args["wall_dur_s"] = round(event.wall_dur, 6)
         out: Dict[str, Any] = {
             "name": event.name,
             "cat": event.category or "repro",
@@ -64,16 +72,29 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
 
 
 def chrome_trace(tracer: Tracer,
-                 metrics: MetricsRegistry | None = None) -> Dict[str, Any]:
+                 metrics: MetricsRegistry | None = None,
+                 canonical: bool = False) -> Dict[str, Any]:
     """The full Chrome trace document (``json.dump``-able)."""
     doc: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(tracer, canonical=canonical),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs", "time_axis": "virtual"},
     }
     if metrics is not None:
         doc["otherData"]["metrics"] = metrics.snapshot()
     return doc
+
+
+def canonical_trace_bytes(tracer: Tracer,
+                          metrics: MetricsRegistry | None = None) -> bytes:
+    """Deterministic serialization of a run's trace + metric state.
+
+    Wall-clock stamps are excluded and keys are sorted, so two runs of
+    the same scenario produce identical bytes if and only if their
+    virtual schedules and metric totals are identical.
+    """
+    return json.dumps(chrome_trace(tracer, metrics, canonical=True),
+                      sort_keys=True).encode()
 
 
 def write_chrome_trace(tracer: Tracer, path: PathLike,

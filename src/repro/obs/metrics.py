@@ -149,10 +149,28 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name-keyed instrument store; get-or-create, with kind checking."""
+    """Name-keyed instrument store; get-or-create, with kind checking.
+
+    Hot-path producers may *batch* their accounting: instead of bumping a
+    counter per operation they keep a plain local tally and register a
+    flush hook that settles the difference into the instrument.  Every
+    read path (:meth:`get`, :meth:`by_kind`, :meth:`snapshot`) flushes
+    first, so readers always observe exact totals — the batching is
+    invisible except in per-operation cost.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
+        self._flush_hooks: list = []
+
+    def add_flush_hook(self, hook) -> None:
+        """Register a callable that settles batched counts on read."""
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Run every flush hook (idempotent between producer updates)."""
+        for hook in self._flush_hooks:
+            hook()
 
     def _get(self, name: str, kind: type, *args):
         instrument = self._instruments.get(name)
@@ -178,12 +196,16 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[object]:
         """Look up an instrument without creating it."""
+        if self._flush_hooks:
+            self.flush()
         return self._instruments.get(name)
 
     def names(self) -> list:
         return sorted(self._instruments)
 
     def by_kind(self, kind: str) -> Dict[str, object]:
+        if self._flush_hooks:
+            self.flush()
         return {
             name: inst for name, inst in sorted(self._instruments.items())
             if inst.kind == kind
@@ -191,6 +213,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-data snapshot of every instrument (JSON-serializable)."""
+        if self._flush_hooks:
+            self.flush()
         out: Dict[str, object] = {}
         for name, inst in sorted(self._instruments.items()):
             if inst.kind == "counter":
@@ -258,6 +282,12 @@ class NullMetrics:
     Used by :func:`repro.obs.disabled` and the observability-overhead
     benchmark; every lookup returns the shared no-op instrument.
     """
+
+    def add_flush_hook(self, hook) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
 
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -1,0 +1,82 @@
+"""cProfile-based hotspot reporting over the named scenario registries.
+
+A scenario name is resolved across the three CLI registries in order —
+trace scenarios (:mod:`repro.obs.scenarios`), fault scenarios
+(:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`) —
+so every scenario the CLI can run can also be profiled.  Runs execute
+under the default observability configuration (metrics on, tracing
+off), which is the hot path the optimization work targets.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Dict, List, Tuple
+
+#: pstats sort keys accepted by the CLI.
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
+    """(kind, registry, thunk-maker) triples, in resolution order."""
+    from repro.admission import SCENARIOS as OVERLOAD_SCENARIOS
+    from repro.faults import SCENARIOS as FAULT_SCENARIOS
+    from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
+
+    return [
+        ("trace", TRACE_SCENARIOS, lambda fn: fn),
+        ("faults", FAULT_SCENARIOS,
+         lambda fn: lambda: fn(seed=0, recover=True)),
+        ("overload", OVERLOAD_SCENARIOS,
+         lambda fn: lambda: fn(seed=0, admission=True)),
+    ]
+
+
+def available_scenarios() -> Dict[str, str]:
+    """Every profilable scenario name -> the registry it comes from.
+
+    First registry wins on a name collision, matching
+    :func:`resolve_scenario`.
+    """
+    names: Dict[str, str] = {}
+    for kind, registry, _ in _registries():
+        for name in registry:
+            names.setdefault(name, kind)
+    return names
+
+
+def resolve_scenario(name: str) -> Tuple[str, Callable[[], object]]:
+    """Resolve ``name`` to (registry kind, zero-argument runner)."""
+    for kind, registry, make in _registries():
+        if name in registry:
+            return kind, make(registry[name])
+    options = ", ".join(sorted(available_scenarios()))
+    raise KeyError(f"unknown scenario {name!r}; pick one of: {options}")
+
+
+def profile_scenario(name: str, top: int = 15,
+                     sort: str = "cumulative") -> Tuple[str, object]:
+    """Run a scenario under cProfile; return (report text, scenario facts).
+
+    The report holds the top-``top`` entries sorted by ``sort``
+    (one of ``cumulative``, ``tottime``, ``ncalls``).
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    from repro.obs import scoped
+
+    kind, run = resolve_scenario(name)
+    profiler = cProfile.Profile()
+    with scoped(tracing=False):
+        profiler.enable()
+        facts = run()
+        profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    header = (f"== profile: {name} ({kind} scenario, "
+              f"top {top} by {sort}) ==\n")
+    return header + buf.getvalue(), facts

@@ -48,13 +48,35 @@ Observability: every simulator publishes ``sim.*`` metrics to its
 :class:`~repro.obs.Obs` (kernel counters are pre-bound, so the per-event
 cost is one attribute increment) and, when tracing is enabled, one span
 per process covering its whole virtual lifetime.
+
+Hot-path design (see DESIGN.md "Performance"):
+
+* Queue entries are plain 6-tuples ``(time, seq, kind, proc, epoch,
+  payload)``.  ``seq`` is unique, so heap comparisons never look past
+  ``(time, seq)`` — entry ordering is tuple-cheap and the (time, seq)
+  tie-break is structurally identical to the previous implementation.
+* Process wakeups carry ``(proc, epoch, value)`` directly instead of a
+  per-wakeup closure; staleness is checked inline at dispatch.
+* Yielded commands dispatch through a type-keyed table
+  (:data:`_COMMAND_CODE`) instead of an ``isinstance`` chain; command
+  *subclasses* still work through the fallback path.
+* The kernel counts stale wakeups (``Timeout`` timers whose target
+  already completed, waiters overtaken by an interrupt) exactly, and
+  once ``compact_threshold`` of them accumulate *and* they are the
+  majority of the heap, it compacts the heap lazily.  Removed entries
+  are remembered by ``(time, seq)`` and charged to
+  ``sim.events_dispatched`` at the moment the old kernel would have
+  popped them, so metric totals, final virtual times, and therefore
+  exported traces stay byte-identical with compaction on or off.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple, Union
+
+from dataclasses import dataclass
 
 from repro.avtime import WorldTime
 from repro.errors import DeadlineExceeded, FaultError, Interrupted, SimulationError
@@ -169,7 +191,7 @@ class Process:
     """A running simulation process wrapping a user generator."""
 
     __slots__ = ("simulator", "name", "_gen", "_stack", "done", "result", "error",
-                 "_watchers", "_span", "_epoch", "_abandoned")
+                 "_watchers", "_span", "_epoch", "_abandoned", "_inflight")
 
     def __init__(self, simulator: "Simulator", gen: ProcessGen, name: str) -> None:
         self.simulator = simulator
@@ -186,6 +208,10 @@ class Process:
         # from a previous suspension are discarded (see module docstring).
         self._epoch = 0
         self._abandoned = False
+        # Number of queued wakeups that target the *current* epoch; when
+        # the epoch bumps they all become stale and are handed over to
+        # the simulator's stale count (compaction bookkeeping).
+        self._inflight = 0
 
     @property
     def abandoned(self) -> bool:
@@ -226,6 +252,10 @@ class Process:
         self._abandoned = True
         self._epoch += 1  # invalidate any pending wakeup
         sim = self.simulator
+        if self._inflight:
+            sim._stale += self._inflight
+            self._inflight = 0
+            sim._maybe_compact()
         sim.live_processes -= 1
         sim._m_faults.inc()
         if self._span is not None:
@@ -247,20 +277,66 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+# Queue-entry kinds (index 2 of the 6-tuple).
+_RESUME = 0   # payload = value sent into the generator
+_THROW = 1    # payload = exception thrown at the yield point
+_CALL = 2     # payload = plain callable (proc is None, never stale)
+
+#: queue entry: (time, seq, kind, proc, epoch, payload).  ``seq`` is
+#: unique per simulator, so tuple comparison stops at (time, seq) and the
+#: remaining elements never need to be comparable.
+_QueueEntry = Tuple[float, int, int, Optional["Process"], int, Any]
+
+# Type-keyed command dispatch (exact types; subclasses take the fallback).
+_CMD_DELAY = 1
+_CMD_WAIT_EVENT = 2
+_CMD_WAIT_PROCESS = 3
+_CMD_TIMEOUT = 4
+_CMD_ACQUIRE = 5
+_CMD_RELEASE = 6
+
+_COMMAND_CODE = {
+    Delay: _CMD_DELAY,
+    WaitEvent: _CMD_WAIT_EVENT,
+    WaitProcess: _CMD_WAIT_PROCESS,
+    Timeout: _CMD_TIMEOUT,
+    Acquire: _CMD_ACQUIRE,
+    Release: _CMD_RELEASE,
+}
+
+
+def _COMMAND_FALLBACK(command: Any) -> int:
+    """Resolve command subclasses (rare path) and memoize their type."""
+    for base, code in _COMMAND_CODE.items():
+        if isinstance(command, base):
+            _COMMAND_CODE[type(command)] = code
+            return code
+    return 0  # unsupported
 
 
 class Simulator:
     """The event loop: virtual clock + priority queue of pending actions."""
 
+    #: compact the heap once at least this many stale entries accumulate
+    #: (and they are the majority of the heap).  Large enough that small
+    #: simulations never pay the rebuild, small enough that timeout-heavy
+    #: workloads cannot grow the heap without bound.
+    compact_threshold = 512
+
     def __init__(self, obs: Optional[Obs] = None) -> None:
         self._queue: list[_QueueEntry] = []
         self._seq = 0
         self._now = 0.0
+        #: stale wakeups currently sitting in the heap (exact count).
+        self._stale = 0
+        #: (time, seq) of compacted-away entries not yet charged to
+        #: ``sim.events_dispatched`` (see ``_account_compacted``).
+        self._compacted: list[Tuple[float, int]] = []
+        #: lifetime compaction stats (plain attributes, deliberately not
+        #: registry metrics so snapshots stay identical to the
+        #: pre-compaction kernel).
+        self.heap_compactions = 0
+        self.entries_compacted = 0
         #: number of spawned processes that have not finished (nor been
         #: abandoned) — bounded bookkeeping; finished processes are not
         #: retained by the kernel.
@@ -270,6 +346,9 @@ class Simulator:
         self._first_failure: Optional[BaseException] = None
         self.obs = attach(obs)
         self.obs.tracer.bind_clock(lambda: self._now)
+        # Pre-bound tracer: the disabled-tracing check in spawn() is one
+        # attribute load instead of two.
+        self._tracer = self.obs.tracer
         metrics = self.obs.metrics
         self._m_dispatched = metrics.counter("sim.events_dispatched")
         self._m_spawned = metrics.counter("sim.processes_spawned")
@@ -295,8 +374,9 @@ class Simulator:
         proc = Process(self, gen, name)
         self.live_processes += 1
         self._m_spawned.inc()
-        if self.obs.tracer.enabled:
-            proc._span = self.obs.tracer.begin(name, "sim.process", track=name)
+        tracer = self._tracer
+        if tracer.enabled:
+            proc._span = tracer.begin(name, "sim.process", track=name)
         self._schedule_resume(proc, None)
         return proc
 
@@ -314,16 +394,42 @@ class Simulator:
         propagates after being recorded on the process.
         """
         limit = until.seconds if until is not None else None
-        while self._queue:
-            entry = self._queue[0]
-            if limit is not None and entry.time > limit:
+        queue = self._queue
+        step = self._step
+        m_inc = self._m_dispatched.inc
+        while queue:
+            entry = queue[0]
+            etime = entry[0]
+            if limit is not None and etime > limit:
+                if self._compacted:
+                    self._account_compacted_drain(limit)
                 self._now = limit
                 break
-            heapq.heappop(self._queue)
-            self._now = entry.time
-            self._m_dispatched.inc()
-            entry.action()
+            heappop(queue)
+            if self._compacted:
+                self._account_compacted(etime, entry[1])
+            self._now = etime
+            m_inc()
+            kind = entry[2]
+            if kind == _CALL:
+                entry[5]()
+            else:
+                proc = entry[3]
+                if (entry[4] == proc._epoch and not proc.done
+                        and not proc._abandoned):
+                    proc._inflight -= 1
+                    if kind == _RESUME:
+                        step(proc, entry[5])
+                    else:
+                        step(proc, None, entry[5])
+                else:
+                    self._stale -= 1
         else:
+            # Queue drained: the old kernel would have popped any stale
+            # entries still pending, advancing the clock and the dispatch
+            # count — settle the compacted remainder the same way.
+            if self._compacted:
+                self._account_compacted_drain(limit)
             if limit is not None:
                 self._now = max(self._now, limit)
         if self._first_failure is not None:
@@ -332,11 +438,31 @@ class Simulator:
 
     def run_until_complete(self, proc: Process) -> Any:
         """Run until ``proc`` finishes; return its result."""
-        while not proc.done and self._queue:
-            entry = heapq.heappop(self._queue)
-            self._now = entry.time
-            self._m_dispatched.inc()
-            entry.action()
+        queue = self._queue
+        step = self._step
+        m_inc = self._m_dispatched.inc
+        while not proc.done and queue:
+            entry = heappop(queue)
+            if self._compacted:
+                self._account_compacted(entry[0], entry[1])
+            self._now = entry[0]
+            m_inc()
+            kind = entry[2]
+            if kind == _CALL:
+                entry[5]()
+            else:
+                target = entry[3]
+                if (entry[4] == target._epoch and not target.done
+                        and not target._abandoned):
+                    target._inflight -= 1
+                    if kind == _RESUME:
+                        step(target, entry[5])
+                    else:
+                        step(target, None, entry[5])
+                else:
+                    self._stale -= 1
+        if not proc.done and self._compacted:
+            self._account_compacted_drain(None)
         if proc.error is not None:
             raise proc.error
         if not proc.done:
@@ -345,8 +471,9 @@ class Simulator:
 
     # -- internals ---------------------------------------------------------
     def _push(self, time: float, action: Callable[[], None]) -> None:
+        """Queue a plain callable (never stale, never compacted)."""
         self._seq += 1
-        heapq.heappush(self._queue, _QueueEntry(time, self._seq, action))
+        heappush(self._queue, (time, self._seq, _CALL, None, 0, action))
 
     def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0,
                          epoch: Optional[int] = None) -> None:
@@ -357,30 +484,106 @@ class Simulator:
         resumed by something else.
         """
         wake_epoch = proc._epoch if epoch is None else epoch
-
-        def action() -> None:
-            if proc._epoch == wake_epoch and not proc.done and not proc._abandoned:
-                self._step(proc, value)
-
-        self._push(self._now + delay, action)
+        self._seq += 1
+        heappush(self._queue,
+                 (self._now + delay, self._seq, _RESUME, proc, wake_epoch, value))
+        if wake_epoch == proc._epoch and not proc.done and not proc._abandoned:
+            proc._inflight += 1
+        else:
+            # Stale on arrival (e.g. an event trigger racing an interrupt).
+            self._stale += 1
+            self._maybe_compact()
 
     def _schedule_throw(self, proc: Process, exc: BaseException,
                         epoch: int, delay: float = 0.0) -> None:
         """Schedule ``exc`` to be raised at ``proc``'s yield point."""
+        self._seq += 1
+        heappush(self._queue,
+                 (self._now + delay, self._seq, _THROW, proc, epoch, exc))
+        if epoch == proc._epoch and not proc.done and not proc._abandoned:
+            proc._inflight += 1
+        else:
+            self._stale += 1
+            self._maybe_compact()
 
-        def action() -> None:
-            if proc._epoch == epoch and not proc.done and not proc._abandoned:
-                self._step(proc, None, throw=exc)
+    # -- lazy heap compaction ---------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Compact once stale entries pass the threshold *and* dominate."""
+        if (self._stale >= self.compact_threshold
+                and self._stale * 2 > len(self._queue)):
+            self._compact()
 
-        self._push(self._now + delay, action)
+    def _compact(self) -> None:
+        """Drop every stale wakeup from the heap in one pass.
+
+        The removed entries' ``(time, seq)`` keys are kept so their
+        dispatch-count contribution (a no-op pop in the old kernel) can
+        be charged at exactly the point the old kernel would have popped
+        them — see ``_account_compacted`` — keeping ``sim.*`` metrics
+        and final clock values identical with or without compaction.
+        """
+        queue = self._queue
+        live: list = []
+        compacted = self._compacted
+        for entry in queue:
+            proc = entry[3]
+            if (proc is None or (entry[4] == proc._epoch and not proc.done
+                                 and not proc._abandoned)):
+                live.append(entry)
+            else:
+                heappush(compacted, (entry[0], entry[1]))
+        removed = len(queue) - len(live)
+        queue[:] = live
+        heapq.heapify(queue)
+        self.heap_compactions += 1
+        self.entries_compacted += removed
+        self._stale = 0
+
+    def _account_compacted(self, time: float, seq: int) -> None:
+        """Charge compacted entries the old kernel would have popped
+        strictly before the entry now being dispatched."""
+        compacted = self._compacted
+        key = (time, seq)
+        n = 0
+        while compacted and compacted[0] < key:
+            heappop(compacted)
+            n += 1
+        if n:
+            self._m_dispatched.inc(n)
+
+    def _account_compacted_drain(self, limit: Optional[float]) -> None:
+        """Settle compacted entries at the end of a run.
+
+        With no ``limit`` the old kernel would have popped every pending
+        entry (advancing the clock to the last one); with a ``limit`` it
+        would have popped only those scheduled at or before it.
+        """
+        compacted = self._compacted
+        n = 0
+        last_time = None
+        while compacted and (limit is None or compacted[0][0] <= limit):
+            last_time = heappop(compacted)[0]
+            n += 1
+        if n:
+            self._m_dispatched.inc(n)
+            if limit is None and last_time > self._now:
+                self._now = last_time
 
     def _step(self, proc: Process, send_value: Any,
               throw: Optional[BaseException] = None) -> None:
         if proc.done or proc._abandoned:
             return
         proc._epoch += 1
+        inflight = proc._inflight
+        if inflight:
+            # Every wakeup queued for the previous suspension is stale now.
+            self._stale += inflight
+            proc._inflight = 0
+            self._maybe_compact()
+        stack = proc._stack
+        command_code = _COMMAND_CODE.get
         while True:
-            gen = proc._stack[-1]
+            gen = stack[-1]
             try:
                 if throw is not None:
                     exc, throw = throw, None
@@ -388,16 +591,16 @@ class Simulator:
                 else:
                     command = gen.send(send_value)
             except StopIteration as stop:
-                proc._stack.pop()
-                if proc._stack:
+                stack.pop()
+                if stack:
                     # Subroutine returned: resume the caller with its value.
                     send_value = stop.value
                     continue
                 self._finish(proc, stop.value, None)
                 return
             except BaseException as exc:  # noqa: BLE001 - recorded / propagated
-                proc._stack.pop()
-                if proc._stack:
+                stack.pop()
+                if stack:
                     # Subroutine raised: propagate into the caller, which
                     # may catch it at its yield point.
                     throw = exc
@@ -405,16 +608,28 @@ class Simulator:
                     continue
                 self._finish(proc, None, exc)
                 return
-            if isinstance(command, Delay):
-                self._schedule_resume(proc, None, command.seconds)
+            code = command_code(type(command))
+            if code is None:
+                if isinstance(command, Iterator):
+                    stack.append(command)
+                    send_value = None
+                    continue
+                code = _COMMAND_FALLBACK(command)
+            if code == _CMD_DELAY:
+                # Inlined _schedule_resume: the wakeup is for the epoch
+                # just entered, so it is live by construction.
+                proc._inflight += 1
+                self._seq += 1
+                heappush(self._queue, (self._now + command.seconds, self._seq,
+                                       _RESUME, proc, proc._epoch, None))
                 return
-            if isinstance(command, WaitEvent):
+            if code == _CMD_WAIT_EVENT:
                 command.event._add_waiter(proc)
                 return
-            if isinstance(command, WaitProcess):
+            if code == _CMD_WAIT_PROCESS:
                 command.process._add_watcher(proc)
                 return
-            if isinstance(command, Timeout):
+            if code == _CMD_TIMEOUT:
                 epoch = proc._epoch
                 target = command.target
                 if isinstance(target, Process):
@@ -430,15 +645,11 @@ class Simulator:
                     epoch, delay=command.seconds,
                 )
                 return
-            if isinstance(command, Acquire):
+            if code == _CMD_ACQUIRE:
                 command.resource._acquire(proc, command.amount)
                 return
-            if isinstance(command, Release):
+            if code == _CMD_RELEASE:
                 command.resource._release(command.amount)
-                send_value = None
-                continue
-            if isinstance(command, Iterator):
-                proc._stack.append(command)
                 send_value = None
                 continue
             self._finish(

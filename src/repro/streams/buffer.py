@@ -58,41 +58,42 @@ class StreamBuffer:
 
     def put(self, item: Any) -> Generator:
         """Generator subroutine: enqueue, stalling while full."""
-        stalled = False
-        while self.full:
-            if not stalled:
-                # One stall per blocking episode: a woken producer that is
-                # barged past and re-waits is still the *same* stall.
-                stalled = True
-                self.producer_stalls += 1
-                self._m_producer_stalls.inc()
-            event = self.simulator.event(f"{self.name}:not_full")
-            self._not_full.append(event)
-            yield WaitEvent(event)
-        self._items.append(item)
+        items = self._items
+        capacity = self.capacity
+        if len(items) >= capacity:
+            # One stall per blocking episode: a woken producer that is
+            # barged past and re-waits is still the *same* stall.
+            self.producer_stalls += 1
+            self._m_producer_stalls.inc()
+            while len(items) >= capacity:
+                event = self.simulator.event(f"{self.name}:not_full")
+                self._not_full.append(event)
+                yield WaitEvent(event)
+        items.append(item)
         self.total_put += 1
         self._m_put.inc()
-        occupancy = len(self._items)
+        occupancy = len(items)
         self._m_occupancy.observe(occupancy)
         if occupancy > self.high_watermark:
             self.high_watermark = occupancy
-        if self._not_empty:
-            self._not_empty.popleft().trigger()
+        not_empty = self._not_empty
+        if not_empty:
+            not_empty.popleft().trigger()
 
     def get(self) -> Generator:
         """Generator subroutine: dequeue, stalling while empty."""
-        stalled = False
-        while self.empty:
-            if not stalled:
-                stalled = True
-                self.consumer_stalls += 1
-                self._m_consumer_stalls.inc()
-            event = self.simulator.event(f"{self.name}:not_empty")
-            self._not_empty.append(event)
-            yield WaitEvent(event)
-        item = self._items.popleft()
-        if self._not_full:
-            self._not_full.popleft().trigger()
+        items = self._items
+        if not items:
+            self.consumer_stalls += 1
+            self._m_consumer_stalls.inc()
+            while not items:
+                event = self.simulator.event(f"{self.name}:not_empty")
+                self._not_empty.append(event)
+                yield WaitEvent(event)
+        item = items.popleft()
+        not_full = self._not_full
+        if not_full:
+            not_full.popleft().trigger()
         return item
 
     def __repr__(self) -> str:

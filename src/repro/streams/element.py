@@ -17,6 +17,16 @@ from repro.errors import SimulationError
 from repro.values.mediatype import MediaType
 
 
+def _byte_size(obj: Any) -> int | None:
+    """The measurable byte length of a payload, or None if opaque."""
+    nbytes = getattr(obj, "nbytes", None)  # numpy arrays
+    if nbytes is not None:
+        return nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    return None
+
+
 @dataclass(frozen=True, slots=True)
 class StreamElement:
     """One data element in flight."""
@@ -40,15 +50,54 @@ class StreamElement:
                      size_bits: int | None = None) -> "StreamElement":
         """A transformed copy (same timing identity, new payload).
 
-        Uses :func:`dataclasses.replace`, so subclasses of
-        ``StreamElement`` keep their concrete type through transformer
-        chains.
+        ``size_bits`` inheritance rule: omitting ``size_bits`` is only
+        valid when the new payload has the same type and (when
+        measurable: ndarray / bytes) the same byte length as the old
+        one — a transformer that changes the payload's shape must say
+        what the new wire size is, otherwise channel and device traffic
+        accounting would silently keep charging the old size.
+
+        Subclasses of ``StreamElement`` keep their concrete type
+        through transformer chains (``dataclasses.replace`` path).
         """
+        if size_bits is None:
+            old = self.payload
+            if payload is not old:
+                old_n = _byte_size(old)
+                if (type(payload) is not type(old)
+                        or (old_n is not None and _byte_size(payload) != old_n)):
+                    raise SimulationError(
+                        f"with_payload changed the payload "
+                        f"({type(old).__name__}/{old_n} -> "
+                        f"{type(payload).__name__}/{_byte_size(payload)} bytes) "
+                        f"without an explicit size_bits; traffic accounting "
+                        f"cannot inherit {self.size_bits} bits (element index "
+                        f"{self.index})"
+                    )
+            size_bits = self.size_bits
+        elif size_bits < 0:
+            raise SimulationError(
+                f"stream element size_bits must be >= 0, got {size_bits} "
+                f"(element index {self.index})"
+            )
+        cls = type(self)
+        if cls is StreamElement:
+            # Fast constructor path: frozen-dataclass __init__ +
+            # __post_init__ via replace() is ~3x the cost of five slot
+            # stores, and size_bits is already validated above.
+            new = object.__new__(cls)
+            _set = object.__setattr__
+            _set(new, "payload", payload)
+            _set(new, "index", self.index)
+            _set(new, "ideal_time", self.ideal_time)
+            _set(new, "media_type", media_type or self.media_type)
+            _set(new, "size_bits", size_bits)
+            return new
         return replace(
             self,
             payload=payload,
             media_type=media_type or self.media_type,
-            size_bits=self.size_bits if size_bits is None else size_bits,
+            size_bits=size_bits,
         )
 
 

@@ -1,0 +1,107 @@
+"""Byte-identity guards for the hot-path optimization work.
+
+``tests/golden/trace_hashes.json`` holds SHA-256 hashes of the
+*canonical* Chrome-trace export (wall-clock stamps stripped, keys
+sorted) for the quickstart, faults, and overload scenarios, captured on
+the pre-optimization kernel.  If any kernel/dataplane change perturbs
+the schedule — event order, virtual timestamps, or metric totals — the
+exported bytes change and these tests fail.  That is what "preserving
+epoch semantics and (time, seq) determinism exactly" means, made
+executable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import canonical_trace_bytes, scoped
+from repro.obs.scenarios import SCENARIOS
+from repro.sim import Delay, Simulator, Timeout
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden" / "trace_hashes.json").read_text()
+)
+
+
+def _run_canonical(name: str) -> bytes:
+    with scoped(tracing=True) as obs:
+        SCENARIOS[name]()
+        return canonical_trace_bytes(obs.tracer, obs.metrics)
+
+
+class TestGoldenTraces:
+    """Scenario traces must match the pre-optimization bytes exactly."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_trace_matches_pre_optimization_hash(self, name):
+        digest = hashlib.sha256(_run_canonical(name)).hexdigest()
+        assert digest == GOLDEN[name], (
+            f"canonical trace for {name!r} diverged from the "
+            f"pre-optimization kernel — the schedule or metric totals "
+            f"changed"
+        )
+
+    def test_rerun_is_byte_identical(self):
+        assert _run_canonical("quickstart") == _run_canonical("quickstart")
+
+
+class TestCompactionEquivalence:
+    """Lazy heap compaction must be invisible in every observable."""
+
+    @staticmethod
+    def _timeout_storm(threshold):
+        sim = Simulator()
+        sim.compact_threshold = threshold
+
+        def waiter(ev):
+            try:
+                yield Timeout(ev, 1000.0)
+            except Exception:
+                pass
+
+        def firer(evs):
+            for ev in evs:
+                yield Delay(0.001)
+                ev.trigger("x")
+
+        events = [sim.event(f"e{i}") for i in range(2000)]
+        for i, ev in enumerate(events):
+            sim.spawn(waiter(ev), f"w{i}")
+        sim.spawn(firer(events), "firer")
+        end = sim.run()
+        return end.seconds, sim._m_dispatched.value, sim.heap_compactions
+
+    def test_compaction_preserves_clock_and_dispatch_count(self):
+        t_plain, n_plain, c_plain = self._timeout_storm(10**9)
+        t_compact, n_compact, c_compact = self._timeout_storm(64)
+        assert c_plain == 0
+        assert c_compact > 0, "compaction never triggered under the storm"
+        assert t_plain == t_compact
+        assert n_plain == n_compact
+
+    def test_stale_count_settles_to_zero(self):
+        # The event wins the race, so each Timeout leaves one stale
+        # throw-timer in the heap; draining the run must pop (and
+        # account) every one of them.
+        sim = Simulator()
+        ev = sim.event("go")
+
+        def waiter():
+            got = yield Timeout(ev, 0.5)
+            return got
+
+        def firer():
+            yield Delay(0.1)
+            ev.trigger("won")
+
+        procs = [sim.spawn(waiter(), f"w{i}") for i in range(10)]
+        sim.spawn(firer(), "firer")
+        sim.run()
+        assert all(p.result == "won" for p in procs)
+        assert sim._stale == 0
+        assert not sim._compacted
+        assert sim.now.seconds == 0.5  # stale timers still advanced the clock

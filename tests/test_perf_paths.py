@@ -1,0 +1,208 @@
+"""Regression tests for the hot-path rework: ``with_payload`` sizing
+rules, batched channel accounting, heap-based C-SCAN, O(1) admission
+queue depth, and the profile CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.avtime import WorldTime
+from repro.errors import SimulationError
+from repro.net import Channel
+from repro.sim import Simulator
+from repro.storage.scheduler import DiskScheduler, Policy
+from repro.streams.element import StreamElement
+from repro.values.mediatype import standard_type
+
+
+def _element(payload, size_bits=None):
+    if size_bits is None:
+        size_bits = (payload.nbytes if hasattr(payload, "nbytes")
+                     else len(payload)) * 8
+    return StreamElement(payload, 0, WorldTime(0.0),
+                         standard_type("video/raw"), size_bits)
+
+
+class TestWithPayloadSizing:
+    def test_same_shape_payload_inherits_size(self):
+        frame = np.zeros((8, 8), dtype=np.uint8)
+        element = _element(frame)
+        out = element.with_payload(frame + 1)
+        assert out.size_bits == element.size_bits
+        assert out.index == element.index
+        assert out.ideal_time == element.ideal_time
+        assert type(out) is StreamElement
+
+    def test_shrunk_payload_without_size_raises(self):
+        element = _element(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(SimulationError, match="size_bits"):
+            element.with_payload(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_type_change_without_size_raises(self):
+        element = _element(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(SimulationError, match="size_bits"):
+            element.with_payload(b"compressed")
+
+    def test_explicit_size_always_allowed(self):
+        element = _element(np.zeros((8, 8), dtype=np.uint8))
+        out = element.with_payload(b"xx", size_bits=16)
+        assert out.size_bits == 16
+
+    def test_negative_explicit_size_rejected(self):
+        element = _element(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(SimulationError, match=">= 0"):
+            element.with_payload(b"xx", size_bits=-1)
+
+    def test_traffic_accounting_uses_restated_size(self):
+        # The regression the rule exists for: a transformer that halves
+        # the payload must halve what the channel is charged.
+        sim = Simulator()
+        channel = Channel(sim, capacity_bps=1e9)
+        reservation = channel.reserve(1e6)
+        element = _element(np.zeros(1000, dtype=np.uint8))  # 8000 bits
+        shrunk = element.with_payload(b"\x00" * 125, size_bits=1000)
+
+        def send(el):
+            yield from reservation.serialize(el.size_bits)
+
+        sim.run_until_complete(sim.spawn(send(element), "big"))
+        sim.run_until_complete(sim.spawn(send(shrunk), "small"))
+        assert channel.total_bits == 8000 + 1000
+
+
+class TestBatchedChannelAccounting:
+    def test_counter_settles_on_every_read_path(self):
+        sim = Simulator()
+        channel = Channel(sim, capacity_bps=1e9)
+        channel._account(4000)
+        metrics = sim.obs.metrics
+        assert metrics.get("net.bits_sent").value == 4000
+        channel._account(500)
+        assert metrics.snapshot()["net.bits_sent"] == 4500
+        channel._account(1)
+        assert metrics.by_kind("counter")["net.bits_sent"].value == 4501
+        assert channel.total_bits == 4501
+
+    def test_two_channels_share_one_counter(self):
+        sim = Simulator()
+        a = Channel(sim, capacity_bps=1e9, name="a")
+        b = Channel(sim, capacity_bps=1e9, name="b")
+        a._account(100)
+        b._account(23)
+        assert sim.obs.metrics.get("net.bits_sent").value == 123
+
+
+class TestHeapCSCAN:
+    @staticmethod
+    def _fcfs_equivalent_cscan_order(submissions):
+        """The old O(n)-scan C-SCAN semantics, reimplemented naively."""
+        queue = list(submissions)
+        head = 0
+        order = []
+        while queue:
+            ahead = [p for p in queue if p >= head]
+            chosen = min(ahead) if ahead else min(queue)
+            queue.remove(chosen)
+            head = chosen
+            order.append(chosen)
+        return order
+
+    def test_two_heap_pick_matches_scan_semantics(self):
+        positions = [500, 100, 900, 100, 50, 700, 300, 950, 20, 500]
+        sim = Simulator()
+        disk = DiskScheduler(sim, Policy.CSCAN)
+        requests = [disk.submit(p, bits=0) for p in positions]
+        served = [disk._pick() for _ in range(len(positions))]
+        # _pick does not move the head itself; replay the serve loop.
+        got = []
+        sim2 = Simulator()
+        disk2 = DiskScheduler(sim2, Policy.CSCAN)
+        for p in positions:
+            disk2.submit(p, bits=0)
+        while disk2.queue_depth:
+            req = disk2._pick()
+            disk2.head_position = req.position
+            got.append(req.position)
+        assert got == self._fcfs_equivalent_cscan_order(positions)
+        assert {r.position for r in served} == set(positions)
+
+    def test_equal_positions_serve_in_arrival_order(self):
+        sim = Simulator()
+        disk = DiskScheduler(sim, Policy.CSCAN)
+        first = disk.submit(10, bits=0)
+        second = disk.submit(10, bits=0)
+        assert disk._pick() is first
+        assert disk._pick() is second
+
+    def test_served_results_match_policies(self):
+        # End-to-end: C-SCAN still serves everything and seeks less than
+        # FCFS on a zig-zag pattern.
+        positions = [0, 900, 10, 890, 20, 880, 30, 870]
+        totals = {}
+        for policy in (Policy.FCFS, Policy.CSCAN):
+            sim = Simulator()
+            disk = DiskScheduler(sim, policy)
+            disk.start()
+            for p in positions:
+                disk.submit(p, bits=8_000)
+            disk.drain()
+            sim.run()
+            assert disk.requests_served == len(positions)
+            totals[policy] = disk.total_seek_distance
+        assert totals[Policy.CSCAN] < totals[Policy.FCFS]
+
+
+class TestAdmissionQueueDepthCounter:
+    def test_depth_tracks_queue_transitions(self):
+        from repro.admission import AdmissionController, QoSContract, Priority
+        from repro.errors import AdmissionTimeoutError
+
+        sim = Simulator()
+        channel = Channel(sim, capacity_bps=1000.0)
+        controller = AdmissionController(sim, channel, max_queue=4)
+        hog = controller.try_admit(
+            QoSContract(bps=1000.0, priority=Priority.INTERACTIVE), "hog")
+        assert controller.queue_depth == 0
+
+        results = []
+
+        def client(name, timeout):
+            contract = QoSContract(bps=400.0, priority=Priority.STANDARD,
+                                   queue_timeout_s=timeout)
+            try:
+                reservation = yield from controller.admit(contract, name)
+                results.append((name, "admitted"))
+                reservation.release()
+            except AdmissionTimeoutError:
+                results.append((name, "timeout"))
+
+        sim.spawn(client("a", 0.5), "a")
+        sim.spawn(client("b", 10.0), "b")
+        sim.run(until=WorldTime(0.1))
+        assert controller.queue_depth == 2
+        sim.run(until=WorldTime(1.0))  # client a times out
+        assert controller.queue_depth == 1
+        hog.release()  # pump admits client b
+        sim.run()
+        assert controller.queue_depth == 0
+        assert ("a", "timeout") in results
+        assert ("b", "admitted") in results
+
+
+class TestProfileCLI:
+    def test_profile_resolves_all_registries(self):
+        from repro.perf import available_scenarios, profile_scenario
+
+        names = available_scenarios()
+        assert {"quickstart", "disk-outage", "surge"} <= set(names)
+        report, facts = profile_scenario("quickstart", top=5)
+        assert "quickstart" in report
+        assert "cumulative" in report
+        assert facts["frames_presented"] > 0
+
+    def test_unknown_scenario_raises(self):
+        from repro.perf import resolve_scenario
+
+        with pytest.raises(KeyError, match="pick one of"):
+            resolve_scenario("definitely-not-a-scenario")
