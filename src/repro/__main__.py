@@ -20,9 +20,14 @@ shedding, preemption and breaker facts plus a deterministic summary
 line; ``--no-admission`` runs the uncontrolled baseline and
 ``--compare`` runs both regimes under the identical offered load.
 
+``python -m repro cluster <scenario>`` runs a named scale-out storage
+scenario (read storm, node-kill failover, rebalance-after-join) against
+a simulated N-node cluster and prints throughput/failover/repair facts
+plus a deterministic summary line.
+
 ``python -m repro profile <scenario>`` runs any named scenario (from
-the trace, fault, or overload registry) under cProfile and prints the
-top-N hotspot report — the entry point for finding the next
+the trace, fault, overload, or cluster registry) under cProfile and
+prints the top-N hotspot report — the entry point for finding the next
 optimization target (see DESIGN.md "Performance").
 """
 
@@ -72,9 +77,9 @@ def tour() -> None:
     print("\nsee README.md, examples/ and `pytest benchmarks/ --benchmark-only`")
 
 
-def trace(scenario_name: str, out_dir: Path) -> int:
+def trace(scenario_name: str, out_dir: Path, canonical: bool = False) -> int:
     """Run a scenario under a tracing scope and export trace + summary."""
-    from repro.obs import current, scoped
+    from repro.obs import canonical_trace_bytes, current, scoped
     from repro.obs.export import write_chrome_trace, write_jsonl, write_summary
     from repro.obs.scenarios import SCENARIOS
 
@@ -97,6 +102,14 @@ def trace(scenario_name: str, out_dir: Path) -> int:
         write_jsonl(obs.tracer, jsonl_path)
         write_summary(obs.metrics, summary_path, obs.tracer,
                       title=f"scenario: {scenario_name}")
+        canonical_path = None
+        if canonical:
+            # Wall-clock stamps stripped, keys sorted: two runs of the
+            # same scenario produce byte-identical files, which is what
+            # the CI determinism job diffs.
+            canonical_path = out_dir / f"{scenario_name}.canonical.json"
+            canonical_path.write_bytes(
+                canonical_trace_bytes(obs.tracer, obs.metrics))
         events = len(obs.tracer.events)
 
     print(f"scenario {scenario_name!r}:")
@@ -106,6 +119,8 @@ def trace(scenario_name: str, out_dir: Path) -> int:
     print(f"wrote {trace_path}  (open in Perfetto / chrome://tracing)")
     print(f"wrote {jsonl_path}")
     print(f"wrote {summary_path}")
+    if canonical_path is not None:
+        print(f"wrote {canonical_path}")
     return 0
 
 
@@ -170,6 +185,36 @@ def overload(scenario_name: str, seed: int, no_admission: bool,
     return 0
 
 
+def cluster(scenario_name: str, seed: int, nodes: int | None) -> int:
+    """Run scale-out cluster scenarios and print scaling/failover facts."""
+    from repro.cluster import SCENARIOS, summary_line
+    from repro.obs import scoped
+
+    if scenario_name == "all":
+        names = sorted(SCENARIOS)
+    elif scenario_name in SCENARIOS:
+        names = [scenario_name]
+    else:
+        options = ", ".join(sorted(SCENARIOS) + ["all"])
+        print(f"unknown cluster scenario {scenario_name!r}; "
+              f"pick one of: {options}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        # A fresh observability scope per run keeps cluster.* counters
+        # from bleeding between scenarios in one process.
+        with scoped():
+            if nodes is None:
+                facts = SCENARIOS[name](seed=seed)
+            else:
+                facts = SCENARIOS[name](seed=seed, nodes=nodes)
+        print(f"scenario {name!r} (seed {seed}):")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+        print(summary_line(name, facts))
+    return 0
+
+
 def profile(scenario_name: str, top: int, sort: str,
             out: Path | None) -> int:
     """Profile a scenario and print (or write) the hotspot report."""
@@ -207,6 +252,9 @@ def main(argv=None) -> int:
                               help="scenario name (default: quickstart)")
     trace_parser.add_argument("--out", type=Path, default=Path("traces"),
                               help="output directory (default: ./traces)")
+    trace_parser.add_argument("--canonical", action="store_true",
+                              help="also write the canonical (wall-clock-"
+                                   "stripped, rerun-diffable) trace export")
     faults_parser = sub.add_parser(
         "faults", help="run a seeded fault-injection scenario and report QoS"
     )
@@ -232,6 +280,16 @@ def main(argv=None) -> int:
                                  help="run the uncontrolled baseline")
     overload_parser.add_argument("--compare", action="store_true",
                                  help="run both with and without admission")
+    cluster_parser = sub.add_parser(
+        "cluster", help="run a seeded scale-out storage cluster scenario"
+    )
+    cluster_parser.add_argument("scenario", nargs="?", default="node-kill",
+                                help="cluster scenario name, or 'all' "
+                                     "(default: node-kill)")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="workload seed (default: 0)")
+    cluster_parser.add_argument("--nodes", type=int, default=None,
+                                help="override the scenario's node count")
     profile_parser = sub.add_parser(
         "profile", help="run a scenario under cProfile and report hotspots"
     )
@@ -249,7 +307,9 @@ def main(argv=None) -> int:
     if args.command == "profile":
         return profile(args.scenario, args.top, args.sort, args.out)
     if args.command == "trace":
-        return trace(args.scenario, args.out)
+        return trace(args.scenario, args.out, args.canonical)
+    if args.command == "cluster":
+        return cluster(args.scenario, args.seed, args.nodes)
     if args.command == "faults":
         return faults(args.scenario, args.seed, args.no_recovery, args.compare)
     if args.command == "overload":

@@ -1,0 +1,119 @@
+"""One storage node of the scale-out cluster tier.
+
+A :class:`StorageNode` bundles the existing single-machine storage stack
+into a unit the cluster can kill, restore, and route around:
+
+* a :class:`~repro.storage.devices.MagneticDisk` for capacity and extent
+  allocation;
+* a started :class:`~repro.storage.scheduler.DiskScheduler` as the
+  node's single timed data path (head seeks + transfer time);
+* a NIC :class:`~repro.net.channel.Channel` whose bandwidth a per-node
+  :class:`~repro.admission.controller.AdmissionController` arbitrates
+  between interactive streams and background repair traffic.
+
+``kill()`` models a whole-node outage: the scheduler stops, which fails
+every queued request with
+:class:`~repro.errors.SchedulerStoppedError` — a :class:`FaultError` —
+so in-flight cluster reads surface a retryable failure and fail over to
+a surviving replica instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.admission.controller import AdmissionController
+from repro.net.channel import Channel
+from repro.sim import Simulator
+from repro.storage.devices import MagneticDisk
+from repro.storage.extents import Extent
+from repro.storage.scheduler import DiskScheduler, Policy
+
+
+class StorageNode:
+    """A named cluster member: disk + scheduler + admission-controlled NIC."""
+
+    def __init__(self, simulator: Simulator, name: str,
+                 capacity_bytes: int = 2_000_000_000,
+                 bandwidth_bps: float = 48_000_000.0,
+                 policy: Policy = Policy.CSCAN,
+                 cylinders: int = 1000,
+                 seek_per_cylinder_s: float = 0.00002,
+                 max_queue: int = 32) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.device = MagneticDisk(simulator, f"{name}.disk",
+                                   capacity_bytes=capacity_bytes,
+                                   bandwidth_bps=bandwidth_bps)
+        self.scheduler = DiskScheduler(simulator, policy=policy,
+                                       cylinders=cylinders,
+                                       seek_per_cylinder_s=seek_per_cylinder_s,
+                                       transfer_bps=bandwidth_bps)
+        self.scheduler.start()
+        self.nic = Channel(simulator, bandwidth_bps, name=f"{name}.nic")
+        self.admission = AdmissionController(simulator, self.nic,
+                                             max_queue=max_queue, name=name)
+        self.live = True
+        self.bits_read = 0
+        self.deaths = 0
+        #: cluster hooks, wired by ClusterPlacementManager.add_node.
+        self.on_down: Optional[Callable[["StorageNode"], None]] = None
+        self.on_up: Optional[Callable[["StorageNode"], None]] = None
+
+    @property
+    def available(self) -> bool:
+        """Can this node serve reads right now?
+
+        ``live`` covers whole-node kills; ``scheduler.running`` also
+        catches scheduler-outage faults injected below the node level.
+        """
+        return self.live and self.scheduler.running
+
+    @property
+    def load_key(self):
+        """Deterministic routing sort key: least loaded first, name-tied."""
+        return (self.admission.queue_depth, self.admission.utilization,
+                self.name)
+
+    def position_of(self, extent: Extent, byte_offset: int = 0) -> int:
+        """Map a byte inside an extent to a scheduler head position."""
+        capacity = self.device.allocator.capacity_bytes
+        byte_pos = min(extent.offset + byte_offset, capacity - 1)
+        return min(self.scheduler.cylinders - 1,
+                   byte_pos * self.scheduler.cylinders // capacity)
+
+    def account_read(self, bits: int) -> None:
+        self.bits_read += bits
+        self.device.total_bits_read += bits
+        self.device._m_bits_read.inc(bits)
+
+    def kill(self) -> None:
+        """Whole-node outage: stop serving, fail queued requests."""
+        if not self.live:
+            return
+        self.live = False
+        self.deaths += 1
+        self.scheduler.stop()
+        if self.on_down is not None:
+            self.on_down(self)
+
+    def restore(self) -> None:
+        """Bring a killed node back; its extents (and data) survive."""
+        if self.live:
+            return
+        self.live = True
+        if not self.scheduler.running:
+            self.scheduler.start()
+        if self.on_up is not None:
+            self.on_up(self)
+
+    def stop(self) -> None:
+        """Shut the node down cleanly (scenario teardown)."""
+        if self.scheduler.running:
+            self.scheduler.stop()
+
+    def __repr__(self) -> str:
+        state = "live" if self.available else "down"
+        return (f"StorageNode({self.name!r}, {state}, "
+                f"depth={self.admission.queue_depth}, "
+                f"util={self.admission.utilization:.0%})")

@@ -1,0 +1,439 @@
+"""Sharded, replicated placement across storage nodes.
+
+The single-pool :class:`~repro.storage.placement.PlacementManager` makes
+placement client-visible on one machine; this module scales the same
+idea out.  A value is split into contiguous shards, each shard is placed
+on the R highest-rendezvous-weight nodes
+(:mod:`repro.cluster.hashing`), and reads are routed to the least-loaded
+*live* replica — queue-depth aware, through each node's
+:class:`~repro.admission.controller.AdmissionController`.
+
+Failover is the point: a :class:`ClusterStream` wraps every span read in
+:func:`~repro.faults.recovery.with_retries`, so when the serving node
+dies mid-stream (its scheduler fails the request with a
+:class:`~repro.errors.FaultError`) the retry reconnects to a surviving
+replica and the client sees latency, not an error — the paper's "copy
+… so time-consuming as to destroy any sense of interactivity" replaced
+by a placement that already holds the copy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.admission.controller import Priority, QoSContract
+from repro.cluster import hashing
+from repro.cluster.node import StorageNode
+from repro.errors import (
+    AdmissionError,
+    ClusterError,
+    FaultError,
+    NodeDownError,
+    OutOfSpaceError,
+    PlacementError,
+)
+from repro.faults.recovery import RetryPolicy, with_retries
+from repro.net.channel import Reservation
+from repro.sim import Simulator
+from repro.storage.extents import Extent
+from repro.values.base import MediaValue
+
+
+@dataclass
+class ClusterShard:
+    """One contiguous slice of a value, replicated across nodes."""
+
+    key: str
+    index: int
+    offset: int                      # byte offset within the value
+    nbytes: int
+    replicas: Dict[str, Extent] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+@dataclass
+class ClusterPlacement:
+    """Where one value's shards live across the cluster."""
+
+    value_id: int
+    key: str
+    nbytes: int
+    replication: int
+    shards: List[ClusterShard]
+
+    def shard_at(self, byte_offset: int) -> ClusterShard:
+        index = min(byte_offset // self.shards[0].nbytes,
+                    len(self.shards) - 1)
+        shard = self.shards[index]
+        if not shard.offset <= byte_offset < shard.end:  # uneven last shard
+            for shard in self.shards:
+                if shard.offset <= byte_offset < shard.end:
+                    break
+        return shard
+
+
+class ClusterStream:
+    """A failover-capable read stream over one placed value.
+
+    Satisfies the ``io_stream`` read protocol: ``read(bits)`` is a DES
+    subroutine.  The stream admits itself on the serving node's
+    controller (holding a NIC reservation for its contracted rate) and
+    re-admits on a surviving replica whenever the current node dies, the
+    reservation is preempted, or a span read fails with a
+    :class:`~repro.errors.FaultError`.
+    """
+
+    def __init__(self, cluster: "ClusterPlacementManager",
+                 placement: ClusterPlacement, bps: float, label: str,
+                 priority: Priority, queue_timeout_s: float) -> None:
+        self.cluster = cluster
+        self.simulator = cluster.simulator
+        self.placement = placement
+        self.bps = bps
+        self.label = label
+        self.priority = priority
+        self.queue_timeout_s = queue_timeout_s
+        self.bits_read = 0
+        self.failovers = 0
+        self.closed = False
+        self._pos_bits = 0
+        self._node: Optional[StorageNode] = None
+        self._reservation: Optional[Reservation] = None
+        self._shard: Optional[ClusterShard] = None
+        self._lost = False
+
+    @property
+    def serving_node(self) -> Optional[str]:
+        return self._node.name if self._node is not None else None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos_bits >= self.placement.nbytes * 8
+
+    def read(self, bits: int, deadline: Optional[float] = None) -> Generator:
+        """DES subroutine: read ``bits`` from the stream position."""
+        if self.closed:
+            raise ClusterError(f"stream {self.label!r} is closed")
+        total_bits = self.placement.nbytes * 8
+        if self._pos_bits + bits > total_bits:
+            raise ClusterError(
+                f"stream {self.label!r} read past end of "
+                f"{self.placement.key!r} ({self._pos_bits + bits} of "
+                f"{total_bits} bits)"
+            )
+        remaining = bits
+        while remaining > 0:
+            shard = self.placement.shard_at(self._pos_bits // 8)
+            span = min(remaining, shard.end * 8 - self._pos_bits)
+            yield from self._read_span(shard, span, deadline)
+            remaining -= span
+        self.bits_read += bits
+        self.cluster._m_reads.inc()
+        self.cluster._m_read_bits.inc(bits)
+
+    def _read_span(self, shard: ClusterShard, bits: int,
+                   deadline: Optional[float]) -> Generator:
+        def attempt() -> Generator:
+            yield from self._ensure(shard)
+            node = self._node
+            extent = shard.replicas[node.name]
+            byte_off = self._pos_bits // 8 - shard.offset
+            position = node.position_of(extent, byte_off)
+            try:
+                yield from node.scheduler.read(position, bits, deadline)
+            except FaultError:
+                # The serving node (or its scheduler) died under us:
+                # mark the connection lost so the retry reconnects.
+                self._lost = True
+                raise
+            node.account_read(bits)
+
+        yield from with_retries(self.simulator, attempt,
+                                self.cluster.retry_policy)
+        self._pos_bits += bits
+
+    def _ensure(self, shard: ClusterShard) -> Generator:
+        """Connect (or reconnect) to the best live replica of ``shard``."""
+        if (self._shard is shard and self._node is not None
+                and not self._lost and self._node.available
+                and self._reservation is not None
+                and not self._reservation.released
+                and not self._reservation.preempted):
+            return
+        prev = (self._node.name
+                if self._shard is shard and self._node is not None else None)
+        self._disconnect()
+        candidates = self.cluster._route(shard)
+        if not candidates:
+            raise NodeDownError(
+                f"no live replica of shard {shard.key!r} "
+                f"(placed on {sorted(shard.replicas)})"
+            )
+        last_error: Optional[BaseException] = None
+        for node in candidates:
+            contract = QoSContract(self.bps, self.priority,
+                                   queue_timeout_s=max(self.queue_timeout_s,
+                                                       0.001))
+            try:
+                if self.queue_timeout_s > 0:
+                    reservation = yield from node.admission.admit(
+                        contract, label=self.label)
+                else:
+                    reservation = node.admission.try_admit(
+                        contract, label=self.label)
+            except AdmissionError as exc:
+                last_error = exc
+                continue
+            self._node, self._reservation = node, reservation
+            self._shard, self._lost = shard, False
+            if prev is not None and node.name != prev:
+                self.failovers += 1
+                self.cluster._note_failover(self.label, prev, node.name)
+            return
+        raise NodeDownError(
+            f"every live replica of shard {shard.key!r} refused admission "
+            f"for {self.label!r}"
+        ) from last_error
+
+    def _disconnect(self) -> None:
+        if self._reservation is not None and not self._reservation.released:
+            self._reservation.release()
+        self._node = None
+        self._reservation = None
+        self._shard = None
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._disconnect()
+
+    def __enter__(self) -> "ClusterStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ClusterStream({self.label!r} on {self.serving_node!r}, "
+                f"{self.bits_read} bits, {self.failovers} failovers)")
+
+
+class ClusterPlacementManager:
+    """Shards values across nodes, routes reads, tracks replica health."""
+
+    def __init__(self, simulator: Simulator, replication: int = 2,
+                 repair_bps_cap: float = 12_000_000.0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        if replication < 1:
+            raise ClusterError(f"replication must be >= 1, got {replication}")
+        self.simulator = simulator
+        self.replication = replication
+        #: backoff for failover reconnects: short base so a replica
+        #: switch costs milliseconds, enough attempts to ride out repair.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=6, base_delay_s=0.005, max_delay_s=0.25)
+        self._nodes: Dict[str, StorageNode] = {}
+        self._placements: Dict[int, ClusterPlacement] = {}
+        self._keys = itertools.count(1)
+        self.failovers = 0
+        metrics = simulator.obs.metrics
+        self._m_placements = metrics.counter("cluster.placements")
+        self._m_reads = metrics.counter("cluster.reads")
+        self._m_read_bits = metrics.counter("cluster.read_bits")
+        self._m_failovers = metrics.counter("cluster.failovers")
+        self._m_node_deaths = metrics.counter("cluster.node_deaths")
+        self._m_node_restores = metrics.counter("cluster.node_restores")
+        self._m_nodes_live = metrics.gauge("cluster.nodes_live")
+        self._m_under_replicated = metrics.gauge("cluster.under_replicated")
+        from repro.cluster.repair import RepairManager
+        self.repair = RepairManager(self, repair_bps_cap)
+
+    # -- membership ----------------------------------------------------------
+    def add_node(self, node: StorageNode) -> StorageNode:
+        if node.name in self._nodes:
+            raise ClusterError(f"node {node.name!r} already registered")
+        self._nodes[node.name] = node
+        node.on_down = self._node_down
+        node.on_up = self._node_up
+        self._refresh_health()
+        return node
+
+    def node(self, name: str) -> StorageNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ClusterError(f"unknown node {name!r}") from None
+
+    @property
+    def nodes(self) -> List[StorageNode]:
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    @property
+    def live_nodes(self) -> List[StorageNode]:
+        return [n for n in self.nodes if n.available]
+
+    def kill_node(self, name: str) -> None:
+        self.node(name).kill()
+
+    def restore_node(self, name: str) -> None:
+        self.node(name).restore()
+
+    def shutdown(self) -> None:
+        """Scenario teardown: stop repair and every node's server process."""
+        self.repair.stop()
+        for node in self.nodes:
+            node.stop()
+
+    # -- placement -----------------------------------------------------------
+    def place(self, value: MediaValue, key: Optional[str] = None,
+              shards: int = 1,
+              replication: Optional[int] = None) -> ClusterPlacement:
+        """Shard a value and allocate R replicas of each shard."""
+        vid = id(value)
+        if vid in self._placements:
+            raise PlacementError("value is already placed in the cluster")
+        r = self.replication if replication is None else replication
+        names = sorted(self._nodes)
+        if r < 1 or r > len(names):
+            raise ClusterError(
+                f"replication {r} needs {r} nodes, have {len(names)}"
+            )
+        nbytes = max(1, (value.data_size_bits() + 7) // 8)
+        shards = max(1, min(shards, nbytes))
+        key = key if key is not None else f"value-{next(self._keys)}"
+        shard_nbytes = -(-nbytes // shards)
+        placed: List[ClusterShard] = []
+        allocated: List[Tuple[StorageNode, Extent]] = []
+        try:
+            for index in range(shards):
+                offset = index * shard_nbytes
+                size = min(shard_nbytes, nbytes - offset)
+                shard = ClusterShard(f"{key}#{index}", index, offset, size)
+                for name in hashing.rank(shard.key, names):
+                    if len(shard.replicas) == r:
+                        break
+                    node = self._nodes[name]
+                    if node.device.allocator.largest_free_extent < size:
+                        continue
+                    extent = node.device.allocate(size)
+                    shard.replicas[name] = extent
+                    allocated.append((node, extent))
+                if len(shard.replicas) < r:
+                    raise OutOfSpaceError(
+                        f"cannot place {r} replicas of shard {shard.key!r} "
+                        f"({size} bytes) across {len(names)} nodes"
+                    )
+                placed.append(shard)
+        except BaseException:
+            for node, extent in allocated:
+                node.device.free(extent)
+            raise
+        placement = ClusterPlacement(vid, key, nbytes, r, placed)
+        self._placements[vid] = placement
+        self._m_placements.inc()
+        self._refresh_health()
+        return placement
+
+    def remove(self, value: MediaValue) -> None:
+        placement = self.placement_of(value)
+        for shard in placement.shards:
+            for name, extent in shard.replicas.items():
+                self._nodes[name].device.free(extent)
+        del self._placements[placement.value_id]
+        self._refresh_health()
+
+    def placement_of(self, value: MediaValue) -> ClusterPlacement:
+        try:
+            return self._placements[id(value)]
+        except KeyError:
+            raise PlacementError("value has no cluster placement") from None
+
+    def is_placed(self, value: MediaValue) -> bool:
+        return id(value) in self._placements
+
+    @property
+    def placements(self) -> List[ClusterPlacement]:
+        return list(self._placements.values())
+
+    # -- reads ---------------------------------------------------------------
+    def open_read(self, value: MediaValue, bps: float,
+                  label: str = "cluster-read",
+                  priority: Priority = Priority.STANDARD,
+                  queue_timeout_s: float = 0.0) -> ClusterStream:
+        """A failover-capable stream over a placed value.
+
+        With ``queue_timeout_s`` > 0 admission may queue in virtual time
+        (bounded by the timeout); 0 means fail-fast to the next replica.
+        """
+        return ClusterStream(self, self.placement_of(value), bps, label,
+                             priority, queue_timeout_s)
+
+    def _route(self, shard: ClusterShard,
+               exclude: Tuple[str, ...] = ()) -> List[StorageNode]:
+        """Live replica holders, least-loaded first (queue depth, util)."""
+        nodes = [self._nodes[name] for name in sorted(shard.replicas)
+                 if name not in exclude and name in self._nodes]
+        live = [node for node in nodes if node.available]
+        live.sort(key=lambda node: node.load_key)
+        return live
+
+    # -- replica health ------------------------------------------------------
+    def live_replicas(self, shard: ClusterShard) -> List[str]:
+        return [name for name in sorted(shard.replicas)
+                if name in self._nodes and self._nodes[name].available]
+
+    def under_replicated(self) -> List[Tuple[ClusterPlacement, ClusterShard]]:
+        return [(placement, shard)
+                for placement in self._placements.values()
+                for shard in placement.shards
+                if len(self.live_replicas(shard)) < placement.replication]
+
+    def over_replicated(self) -> List[Tuple[ClusterPlacement, ClusterShard]]:
+        return [(placement, shard)
+                for placement in self._placements.values()
+                for shard in placement.shards
+                if len(self.live_replicas(shard)) > placement.replication]
+
+    def _refresh_health(self) -> None:
+        self._m_nodes_live.set(len(self.live_nodes))
+        self._m_under_replicated.set(len(self.under_replicated()))
+
+    # -- event hooks ---------------------------------------------------------
+    def _node_down(self, node: StorageNode) -> None:
+        self._m_node_deaths.inc()
+        self._refresh_health()
+        tracer = self.simulator.obs.tracer
+        if tracer.enabled:
+            tracer.instant("cluster:node-down", "cluster", node=node.name)
+        self.repair.kick()
+
+    def _node_up(self, node: StorageNode) -> None:
+        self._m_node_restores.inc()
+        self._refresh_health()
+        tracer = self.simulator.obs.tracer
+        if tracer.enabled:
+            tracer.instant("cluster:node-up", "cluster", node=node.name)
+        self.repair.kick()
+
+    def _note_failover(self, label: str, old: str, new: str) -> None:
+        self.failovers += 1
+        self._m_failovers.inc()
+        tracer = self.simulator.obs.tracer
+        if tracer.enabled:
+            tracer.instant("cluster:failover", "cluster",
+                           stream=label, src=old, dst=new)
+
+    # -- facts ---------------------------------------------------------------
+    def node_read_bits(self) -> Dict[str, int]:
+        return {name: self._nodes[name].bits_read
+                for name in sorted(self._nodes)}
+
+    def __repr__(self) -> str:
+        return (f"ClusterPlacementManager({len(self._nodes)} nodes "
+                f"({len(self.live_nodes)} live), "
+                f"{len(self._placements)} values, R={self.replication})")

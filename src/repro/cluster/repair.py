@@ -1,0 +1,262 @@
+"""Background re-replication and rebalancing, under a bandwidth cap.
+
+When a node dies, every shard it held drops below its replication
+factor.  The :class:`RepairManager` runs as a kick-driven DES worker:
+membership changes (node down, node up) kick it awake, it scans for
+under-replicated shards, and it copies each one to the next
+rendezvous-ranked live node.
+
+Repair traffic is deliberately second-class:
+
+* the copy admits itself on *both* the source and destination nodes'
+  admission controllers at :class:`~repro.admission.controller.Priority`
+  ``BACKGROUND``, capped at ``cap_bps`` — so an interactive stream can
+  preempt it, and past the high-watermark it is shed outright;
+* a shed/preempted copy backs off (virtual time) and retries; after
+  ``max_attempts`` the shard is deferred until the next membership kick.
+
+That is the invariant the node-kill benchmark gates: repair restores R
+without ever starving an admitted interactive stream.
+
+``rebalance()`` reuses the same capped copy path to move shards onto a
+newly joined node (and drop the now-surplus lowest-ranked replicas), so
+join traffic is bounded exactly like repair traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Set, Tuple
+
+from repro.admission.controller import Priority, QoSContract
+from repro.cluster import hashing
+from repro.errors import (
+    AdmissionError,
+    ClusterError,
+    FaultError,
+    NodeDownError,
+    PreemptedError,
+)
+from repro.sim import Delay, Process, SimEvent, WaitEvent
+
+
+class RepairManager:
+    """Restores replication factor R with background, capped copies."""
+
+    def __init__(self, cluster, cap_bps: float = 12_000_000.0,
+                 chunk_bits: int = 1_000_000,
+                 max_attempts: int = 4,
+                 backoff_s: float = 0.02) -> None:
+        if cap_bps <= 0:
+            raise ClusterError(f"repair cap must be positive, got {cap_bps}")
+        self.cluster = cluster
+        self.cap_bps = cap_bps
+        self.chunk_bits = chunk_bits
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.repairs = 0
+        self.repaired_bits = 0
+        metrics = cluster.simulator.obs.metrics
+        self._m_repairs = metrics.counter("cluster.repairs")
+        self._m_repair_bits = metrics.counter("cluster.repair_bits")
+        self._m_trimmed = metrics.counter("cluster.trimmed")
+        self._m_rebalanced = metrics.counter("cluster.rebalanced")
+        self._proc: Optional[Process] = None
+        self._kick_event: Optional[SimEvent] = None
+        self._stopping = False
+        #: shard keys whose repair failed its attempt budget; skipped
+        #: until the next membership kick (prevents a retry spin).
+        self._deferred: Set[str] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and not self._proc.done
+
+    def start(self) -> None:
+        """Spawn the repair worker (idempotent)."""
+        if self.running:
+            return
+        self._stopping = False
+        self._proc = self.cluster.simulator.spawn(self._run(),
+                                                  name="cluster-repair")
+
+    def kick(self) -> None:
+        """Membership changed: re-scan (and forgive deferred shards)."""
+        self._deferred.clear()
+        if self._kick_event is not None and not self._kick_event.triggered:
+            self._kick_event.trigger()
+
+    def stop(self) -> None:
+        """Ask the worker to exit at its next scan point."""
+        self._stopping = True
+        if self._kick_event is not None and not self._kick_event.triggered:
+            self._kick_event.trigger()
+
+    # -- the worker ----------------------------------------------------------
+    def _work(self) -> List[Tuple[object, object, str]]:
+        todo = [(placement, shard, "repair")
+                for placement, shard in self.cluster.under_replicated()
+                if shard.key not in self._deferred]
+        todo += [(placement, shard, "trim")
+                 for placement, shard in self.cluster.over_replicated()
+                 if shard.key not in self._deferred]
+        return todo
+
+    def _run(self) -> Generator:
+        while True:
+            if self._stopping:
+                return
+            work = self._work()
+            if not work:
+                self._kick_event = self.cluster.simulator.event("repair-kick")
+                yield WaitEvent(self._kick_event)
+                self._kick_event = None
+                continue
+            for placement, shard, action in work:
+                if self._stopping:
+                    return
+                try:
+                    if action == "repair":
+                        yield from self._repair_shard(placement, shard)
+                    else:
+                        self._trim_shard(placement, shard)
+                except (FaultError, AdmissionError, ClusterError):
+                    self._deferred.add(shard.key)
+
+    def _repair_shard(self, placement, shard) -> Generator:
+        """Copy a shard to a new node, backing off when shed/preempted."""
+        attempts = 0
+        while True:
+            try:
+                target = self._pick_target(shard)
+                yield from self.copy_shard(placement, shard, target)
+                self.repairs += 1
+                self._m_repairs.inc()
+                return
+            except (AdmissionError, FaultError):
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    raise
+                yield Delay(self.backoff_s * 2 ** (attempts - 1))
+
+    def _pick_target(self, shard):
+        """Next rendezvous-ranked live node that can hold the shard."""
+        for name in hashing.rank(shard.key, sorted(self.cluster._nodes)):
+            if name in shard.replicas:
+                continue
+            node = self.cluster._nodes[name]
+            if not node.available:
+                continue
+            if node.device.allocator.largest_free_extent < shard.nbytes:
+                continue
+            return node
+        raise ClusterError(
+            f"no live node can host a new replica of {shard.key!r} "
+            f"({shard.nbytes} bytes)"
+        )
+
+    def copy_shard(self, placement, shard, target) -> Generator:
+        """DES subroutine: one capped, admission-controlled shard copy.
+
+        Reads from the least-loaded live holder and writes to ``target``,
+        chunked so a mid-copy preemption or node death aborts promptly
+        (freeing the half-written extent) instead of completing on a
+        corpse.
+        """
+        cluster = self.cluster
+        sources = cluster._route(shard)
+        if not sources:
+            raise NodeDownError(
+                f"no live source replica of {shard.key!r} to repair from"
+            )
+        src = sources[0]
+        extent = target.device.allocate(shard.nbytes)
+        contract = QoSContract(self.cap_bps, Priority.BACKGROUND,
+                               min_fraction=0.25, queue_timeout_s=0.001)
+        tracer = cluster.simulator.obs.tracer
+        try:
+            src_res = src.admission.try_admit(
+                contract, label=f"repair:{shard.key}:read")
+            try:
+                dst_res = target.admission.try_admit(
+                    contract, label=f"repair:{shard.key}:write")
+                try:
+                    rate = min(src_res.bps, dst_res.bps)
+                    span = tracer.begin(
+                        "cluster.repair", "cluster", track="repair",
+                        shard=shard.key, src=src.name, dst=target.name,
+                    ) if tracer.enabled else None
+                    try:
+                        bits_left = shard.nbytes * 8
+                        while bits_left > 0:
+                            if not src.available or not target.available:
+                                raise NodeDownError(
+                                    f"repair of {shard.key!r} lost "
+                                    f"{src.name if not src.available else target.name!r}"
+                                )
+                            if src_res.preempted or dst_res.preempted:
+                                raise PreemptedError(
+                                    f"repair of {shard.key!r} preempted by "
+                                    f"interactive work"
+                                )
+                            chunk = min(self.chunk_bits, bits_left)
+                            yield Delay(chunk / rate)
+                            bits_left -= chunk
+                            self.repaired_bits += chunk
+                            self._m_repair_bits.inc(chunk)
+                            src.device.total_bits_read += chunk
+                            src.device._m_bits_read.inc(chunk)
+                            target.device.total_bits_written += chunk
+                            target.device._m_bits_written.inc(chunk)
+                    finally:
+                        if span is not None:
+                            span.end()
+                finally:
+                    dst_res.release()
+            finally:
+                src_res.release()
+        except BaseException:
+            target.device.free(extent)
+            raise
+        shard.replicas[target.name] = extent
+        cluster._refresh_health()
+
+    def _trim_shard(self, placement, shard) -> None:
+        """Drop the lowest-ranked surplus live replicas (post-restore)."""
+        live = self.cluster.live_replicas(shard)
+        for name in hashing.rank(shard.key, live)[placement.replication:]:
+            extent = shard.replicas.pop(name)
+            self.cluster._nodes[name].device.free(extent)
+            self._m_trimmed.inc()
+        self.cluster._refresh_health()
+
+    # -- rebalance after join ------------------------------------------------
+    def rebalance(self) -> Generator:
+        """DES subroutine: move shards onto newly joined nodes.
+
+        Re-derives each shard's rendezvous top-R over the current live
+        membership, copies (capped, background) to desired nodes that
+        lack a replica, then frees live replicas that fell out of the
+        top-R.  Returns the number of shard copies moved.
+        """
+        cluster = self.cluster
+        moved = 0
+        live_names = [node.name for node in cluster.live_nodes]
+        for placement in cluster.placements:
+            for shard in placement.shards:
+                desired = hashing.top(shard.key, live_names,
+                                      placement.replication)
+                for name in desired:
+                    if name in shard.replicas:
+                        continue
+                    yield from self.copy_shard(placement, shard,
+                                               cluster._nodes[name])
+                    moved += 1
+                for name in cluster.live_replicas(shard):
+                    if name not in desired:
+                        extent = shard.replicas.pop(name)
+                        cluster._nodes[name].device.free(extent)
+                        self._m_trimmed.inc()
+        self._m_rebalanced.inc(moved)
+        cluster._refresh_health()
+        return moved

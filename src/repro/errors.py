@@ -117,6 +117,20 @@ class PlacementError(StorageError):
     """Data placement constraint violated (paper section 3.3)."""
 
 
+class ClusterError(StorageError):
+    """Error in the scale-out storage cluster tier."""
+
+
+class NodeDownError(ClusterError, FaultError):
+    """No live replica of a shard could serve a request.
+
+    Inherits :class:`FaultError` so retry policies treat it as
+    transient: a killed node may be restored, or background repair may
+    re-create the replica on a surviving node, before the backoff
+    schedule is exhausted.
+    """
+
+
 class OutOfSpaceError(StorageError):
     """Device has no free extent large enough for an allocation."""
 

@@ -119,14 +119,15 @@ class FaultInjector:
             devices: Union[Mapping[str, object], Iterable[object]] = (),
             schedulers: Mapping[str, object] = (),
             channels: Union[Mapping[str, object], Iterable[object]] = (),
-            processes: Mapping[str, Process] = ()) -> "FaultInjector":
+            processes: Mapping[str, Process] = (),
+            nodes: Union[Mapping[str, object], Iterable[object]] = ()) -> "FaultInjector":
         """Attach the plan's faults to the given named components.
 
-        ``devices`` and ``channels`` accept either mappings or iterables
-        of objects carrying ``.name``; ``schedulers`` and ``processes``
-        are mappings (schedulers have no name of their own).  Unmatched
-        plan targets raise — a silently unarmed fault would make a
-        "survived the fault plan" claim meaningless.
+        ``devices``, ``channels`` and ``nodes`` accept either mappings or
+        iterables of objects carrying ``.name``; ``schedulers`` and
+        ``processes`` are mappings (schedulers have no name of their
+        own).  Unmatched plan targets raise — a silently unarmed fault
+        would make a "survived the fault plan" claim meaningless.
         """
         if self._armed:
             raise SimulationError("fault plan already armed")
@@ -135,8 +136,11 @@ class FaultInjector:
         channel_map = _by_name(channels)
         scheduler_map = dict(schedulers)
         process_map = dict(processes)
+        node_map = _by_name(nodes)
         for fault in self.plan:
-            if fault.kind.startswith("device-"):
+            if fault.kind == "node-outage":
+                self._arm_node(fault, _lookup(node_map, fault, "node"))
+            elif fault.kind.startswith("device-"):
                 self._arm_device(fault, _lookup(device_map, fault, "device"))
             elif fault.kind.startswith("scheduler-"):
                 self._arm_scheduler(fault, _lookup(scheduler_map, fault, "scheduler"))
@@ -147,6 +151,20 @@ class FaultInjector:
             elif fault.kind == "process-hang":
                 self._arm_hang(fault, _lookup(process_map, fault, "process"))
         return self
+
+    def _arm_node(self, fault: Fault, node) -> None:
+        sim = self.simulator
+
+        def kill() -> None:
+            if node.live:
+                self.record(fault.kind, fault.target)
+                node.kill()
+        sim.schedule_at(WorldTime(fault.at), kill)
+        if fault.duration > 0:
+            def restore() -> None:
+                if not node.live:
+                    node.restore()
+            sim.schedule_at(WorldTime(fault.at + fault.duration), restore)
 
     def _arm_device(self, fault: Fault, device) -> None:
         if device.faults is None:

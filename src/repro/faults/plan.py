@@ -32,6 +32,10 @@ Fault kinds
     ``Process.interrupt(FaultError(...))`` at ``at``.
 ``process-hang``
     ``Process.abandon()`` at ``at`` — the process wedges forever.
+``node-outage``
+    ``StorageNode.kill()`` fires at ``at`` (the node's scheduler stops,
+    failing queued requests; its replicas go dead) and, when
+    ``duration`` > 0, ``restore()`` fires at ``at + duration``.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ KINDS = (
     "scheduler-outage", "scheduler-slowdown",
     "channel-loss",
     "process-crash", "process-hang",
+    "node-outage",
 )
 
 
@@ -129,6 +134,11 @@ class FaultPlan:
             raise SimulationError(f"channel loss mode must be 'retransmit' or 'error', got {mode!r}")
         return self.add(Fault("channel-loss", target, rate=rate,
                               jitter_s=jitter_s, mode=mode))
+
+    def node_outage(self, target: str, at: float,
+                    duration: float = 0.0) -> "FaultPlan":
+        """Kill a storage node at ``at``; restore after ``duration`` (0 = never)."""
+        return self.add(Fault("node-outage", target, at, duration))
 
     def process_crash(self, target: str, at: float) -> "FaultPlan":
         return self.add(Fault("process-crash", target, at))

@@ -176,10 +176,24 @@ def overload() -> Dict[str, object]:
     return priority_mix(seed=0, admission=True)
 
 
+def cluster() -> Dict[str, object]:
+    """The node-kill cluster scenario under tracing.
+
+    The trace shows the ``cluster:node-down`` instant, per-stream
+    ``cluster:failover`` instants as in-flight reads re-home to
+    surviving replicas, and the capped ``cluster.repair`` spans that
+    restore replication in the background.
+    """
+    from repro.cluster.scenarios import node_kill
+
+    return node_kill(seed=0)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "quickstart": quickstart,
     "newscast": newscast,
     "contention": contention,
     "faults": faults,
     "overload": overload,
+    "cluster": cluster,
 }

@@ -1,9 +1,10 @@
 """cProfile-based hotspot reporting over the named scenario registries.
 
-A scenario name is resolved across the three CLI registries in order —
-trace scenarios (:mod:`repro.obs.scenarios`), fault scenarios
-(:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`) —
-so every scenario the CLI can run can also be profiled.  Runs execute
+A scenario name is resolved across the CLI registries in order — trace
+scenarios (:mod:`repro.obs.scenarios`), fault scenarios
+(:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`),
+cluster scenarios (:mod:`repro.cluster`) — so every scenario the CLI
+can run can also be profiled.  Runs execute
 under the default observability configuration (metrics on, tracing
 off), which is the hot path the optimization work targets.
 """
@@ -22,6 +23,7 @@ SORT_KEYS = ("cumulative", "tottime", "ncalls")
 def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     """(kind, registry, thunk-maker) triples, in resolution order."""
     from repro.admission import SCENARIOS as OVERLOAD_SCENARIOS
+    from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
     from repro.faults import SCENARIOS as FAULT_SCENARIOS
     from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
 
@@ -31,6 +33,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
          lambda fn: lambda: fn(seed=0, recover=True)),
         ("overload", OVERLOAD_SCENARIOS,
          lambda fn: lambda: fn(seed=0, admission=True)),
+        ("cluster", CLUSTER_SCENARIOS,
+         lambda fn: lambda: fn(seed=0)),
     ]
 
 

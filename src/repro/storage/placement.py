@@ -193,6 +193,12 @@ class PlacementManager:
             write_res.bits_written += bits
             dst.total_bits_written += bits
             dst._m_bits_written.inc(bits)
+        except BaseException:
+            # A fault (or an interrupt) killed the copy mid-transfer: the
+            # destination extent holds no complete value, so give it back
+            # instead of leaking it.  The source placement is untouched.
+            dst.free(new_extent)
+            raise
         finally:
             read_res.release()
             write_res.release()

@@ -5,10 +5,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import (
     AdmissionError,
+    FaultError,
     OutOfSpaceError,
     PlacementError,
     StorageError,
 )
+from repro.avtime import WorldTime
 from repro.storage import (
     ExtentAllocator,
     JukeboxDevice,
@@ -217,6 +219,26 @@ class TestPlacement:
         sim.run_until_complete(proc)
         assert manager.device("d0").allocator.used_bytes < used_before
         assert manager.copy_count == 1
+
+    def test_copy_interrupted_mid_transfer_releases_destination(self, sim):
+        """A fault during the copy must not leak the destination extent."""
+        manager = self.make_pool(sim)
+        video = moving_scene(10)
+        manager.place(video, "d0")
+        src_used = manager.device("d0").allocator.used_bytes
+        proc = sim.spawn(manager.copy(video, "d1"))
+        # Inject a fault while the transfer is in flight (after the
+        # 15 ms seek, before the ~27 ms copy completes).
+        sim.schedule_at(WorldTime(0.02),
+                        lambda: proc.interrupt(FaultError("mid-copy fault")))
+        sim.run()
+        assert manager.device("d1").allocator.used_bytes == 0  # no leak
+        assert manager.device("d0").allocator.used_bytes == src_used
+        assert manager.device_of(video).name == "d0"  # placement untouched
+        assert manager.copy_count == 0
+        # Both sides' bandwidth reservations were released too.
+        assert manager.device("d0").reserved_bps == 0
+        assert manager.device("d1").reserved_bps == 0
 
     def test_copy_to_same_device_rejected(self, sim):
         manager = self.make_pool(sim)
