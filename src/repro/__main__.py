@@ -25,10 +25,20 @@ scenario (read storm, node-kill failover, rebalance-after-join) against
 a simulated N-node cluster and prints throughput/failover/repair facts
 plus a deterministic summary line.
 
+``python -m repro watch <scenario>`` runs a named supervision scenario
+under the ``repro.watch`` layer (SLO engine + invariant monitor +
+flight recorder) and prints error-budget burn, breach facts and a
+deterministic summary line; ``--bundle-dir`` writes postmortem bundles.
+
+``python -m repro explain <scenario> --session <id>`` reruns a scenario
+with the decision log armed and reconstructs the causal decision chain
+for one session (admitted -> degraded -> preempted -> failed over ...);
+without ``--session`` it lists every subject and its verdict history.
+
 ``python -m repro profile <scenario>`` runs any named scenario (from
-the trace, fault, overload, or cluster registry) under cProfile and
-prints the top-N hotspot report — the entry point for finding the next
-optimization target (see DESIGN.md "Performance").
+the trace, fault, overload, cluster, or watch registry) under cProfile
+and prints the top-N hotspot report — the entry point for finding the
+next optimization target (see DESIGN.md "Performance").
 """
 
 from __future__ import annotations
@@ -41,6 +51,25 @@ import repro
 from repro import AVDatabaseSystem, AttributeSpec, ClassDef, MagneticDisk, Q, VideoValue
 from repro.activities.library import ActivityCatalog
 from repro.synth import fig1_timeline, moving_scene
+
+
+def _lookup_scenario(kind: str, name: str, registry,
+                     allow_all: bool = False) -> list[str] | None:
+    """Resolve a scenario argument to the list of names to run.
+
+    Returns None (after printing a consistent ``pick one of`` listing to
+    stderr) when the name is unknown — callers translate that to exit
+    code 2.  With ``allow_all`` the literal name ``all`` expands to
+    every scenario in the registry, sorted.
+    """
+    if allow_all and name == "all":
+        return sorted(registry)
+    if name in registry:
+        return [name]
+    options = ", ".join(sorted(registry) + (["all"] if allow_all else []))
+    print(f"unknown {kind} scenario {name!r}; pick one of: {options}",
+          file=sys.stderr)
+    return None
 
 
 def tour() -> None:
@@ -83,13 +112,10 @@ def trace(scenario_name: str, out_dir: Path, canonical: bool = False) -> int:
     from repro.obs.export import write_chrome_trace, write_jsonl, write_summary
     from repro.obs.scenarios import SCENARIOS
 
-    try:
-        scenario = SCENARIOS[scenario_name]
-    except KeyError:
-        names = ", ".join(sorted(SCENARIOS))
-        print(f"unknown scenario {scenario_name!r}; pick one of: {names}",
-              file=sys.stderr)
+    names = _lookup_scenario("trace", scenario_name, SCENARIOS)
+    if names is None:
         return 2
+    scenario = SCENARIOS[names[0]]
 
     out_dir.mkdir(parents=True, exist_ok=True)
     with scoped(tracing=True):
@@ -130,14 +156,9 @@ def faults(scenario_name: str, seed: int, no_recovery: bool,
     from repro.faults import SCENARIOS
     from repro.obs import scoped
 
-    if scenario_name == "all":
-        names = sorted(SCENARIOS)
-    elif scenario_name in SCENARIOS:
-        names = [scenario_name]
-    else:
-        options = ", ".join(sorted(SCENARIOS) + ["all"])
-        print(f"unknown fault scenario {scenario_name!r}; pick one of: {options}",
-              file=sys.stderr)
+    names = _lookup_scenario("fault", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
         return 2
 
     for name in names:
@@ -160,14 +181,9 @@ def overload(scenario_name: str, seed: int, no_admission: bool,
     from repro.admission import SCENARIOS, summary_line
     from repro.obs import scoped
 
-    if scenario_name == "all":
-        names = sorted(SCENARIOS)
-    elif scenario_name in SCENARIOS:
-        names = [scenario_name]
-    else:
-        options = ", ".join(sorted(SCENARIOS) + ["all"])
-        print(f"unknown overload scenario {scenario_name!r}; "
-              f"pick one of: {options}", file=sys.stderr)
+    names = _lookup_scenario("overload", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
         return 2
 
     for name in names:
@@ -190,14 +206,9 @@ def cluster(scenario_name: str, seed: int, nodes: int | None) -> int:
     from repro.cluster import SCENARIOS, summary_line
     from repro.obs import scoped
 
-    if scenario_name == "all":
-        names = sorted(SCENARIOS)
-    elif scenario_name in SCENARIOS:
-        names = [scenario_name]
-    else:
-        options = ", ".join(sorted(SCENARIOS) + ["all"])
-        print(f"unknown cluster scenario {scenario_name!r}; "
-              f"pick one of: {options}", file=sys.stderr)
+    names = _lookup_scenario("cluster", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
         return 2
 
     for name in names:
@@ -212,6 +223,68 @@ def cluster(scenario_name: str, seed: int, nodes: int | None) -> int:
         for key, value in facts.items():
             print(f"  {key} = {value}")
         print(summary_line(name, facts))
+    return 0
+
+
+def watch(scenario_name: str, seed: int, bundle_dir: Path | None) -> int:
+    """Run supervised scenarios and print SLO/invariant facts."""
+    from repro.obs import scoped
+    from repro.watch import SCENARIOS, summary_line
+
+    names = _lookup_scenario("watch", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
+        return 2
+
+    for name in names:
+        # A fresh observability scope per run keeps decisions and
+        # counters from bleeding between scenarios in one process.
+        with scoped():
+            facts = SCENARIOS[name](
+                seed=seed,
+                bundle_dir=str(bundle_dir) if bundle_dir else None)
+        print(f"scenario {name!r} (seed {seed}):")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+        print(summary_line(name, facts))
+    return 0
+
+
+def explain(scenario_name: str, session: str | None, seed: int) -> int:
+    """Rerun a scenario and reconstruct one session's decision chain.
+
+    The scenario may come from any decision-emitting registry; the
+    watch registry is preferred on a name collision, then overload,
+    cluster, and fault scenarios.
+    """
+    from repro.admission import SCENARIOS as OVERLOAD_SCENARIOS
+    from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
+    from repro.faults import SCENARIOS as FAULT_SCENARIOS
+    from repro.obs import current, scoped
+    from repro.watch import SCENARIOS as WATCH_SCENARIOS
+    from repro.watch.explain import explain_report, subjects_summary
+
+    registry: dict = {}
+    for scenarios in (FAULT_SCENARIOS, CLUSTER_SCENARIOS,
+                      OVERLOAD_SCENARIOS, WATCH_SCENARIOS):
+        registry.update(scenarios)  # later registries win: watch first
+
+    names = _lookup_scenario("explain", scenario_name, registry)
+    if names is None:
+        return 2
+
+    with scoped():
+        registry[names[0]](seed=seed)
+        decisions = current().decisions
+
+    print(f"scenario {names[0]!r} (seed {seed}): "
+          f"{len(decisions)} decision events")
+    if session is not None:
+        print(explain_report(decisions, session))
+    else:
+        print("subjects (pass --session <id> for the full chain):")
+        for line in subjects_summary(decisions):
+            print(f"  {line}")
     return 0
 
 
@@ -290,6 +363,27 @@ def main(argv=None) -> int:
                                 help="workload seed (default: 0)")
     cluster_parser.add_argument("--nodes", type=int, default=None,
                                 help="override the scenario's node count")
+    watch_parser = sub.add_parser(
+        "watch", help="run a scenario under the SLO/invariant watchdog"
+    )
+    watch_parser.add_argument("scenario", nargs="?", default="leak",
+                              help="watch scenario name, or 'all' "
+                                   "(default: leak)")
+    watch_parser.add_argument("--seed", type=int, default=0,
+                              help="scenario seed (default: 0)")
+    watch_parser.add_argument("--bundle-dir", type=Path, default=None,
+                              help="write postmortem bundles here")
+    explain_parser = sub.add_parser(
+        "explain", help="reconstruct a session's causal decision chain"
+    )
+    explain_parser.add_argument("scenario", nargs="?", default="node-kill",
+                                help="any decision-emitting scenario "
+                                     "(default: node-kill)")
+    explain_parser.add_argument("--session", default=None,
+                                help="session/stream label to explain "
+                                     "(omit to list subjects)")
+    explain_parser.add_argument("--seed", type=int, default=0,
+                                help="scenario seed (default: 0)")
     profile_parser = sub.add_parser(
         "profile", help="run a scenario under cProfile and report hotspots"
     )
@@ -310,6 +404,10 @@ def main(argv=None) -> int:
         return trace(args.scenario, args.out, args.canonical)
     if args.command == "cluster":
         return cluster(args.scenario, args.seed, args.nodes)
+    if args.command == "watch":
+        return watch(args.scenario, args.seed, args.bundle_dir)
+    if args.command == "explain":
+        return explain(args.scenario, args.session, args.seed)
     if args.command == "faults":
         return faults(args.scenario, args.seed, args.no_recovery, args.compare)
     if args.command == "overload":

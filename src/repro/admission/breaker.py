@@ -73,6 +73,7 @@ class CircuitBreaker:
         self.transitions: List[TransitionRecord] = []
         self._opened_at = 0.0
         self._probe_in_flight = False
+        self._decisions = simulator.obs.decisions
         metrics = simulator.obs.metrics
         self._m_state = metrics.gauge(f"admission.breaker.{name}.state")
         self._m_transitions = metrics.counter("admission.breaker_transitions")
@@ -85,6 +86,9 @@ class CircuitBreaker:
             return
         now = self.simulator.now.seconds
         self.transitions.append((now, self.state.value, to.value))
+        if self._decisions.enabled:
+            self._decisions.emit("breaker", self.name, actor="breaker",
+                                 state=to.value, prev=self.state.value)
         self.state = to
         self._m_state.set(_STATE_LEVEL[to])
         self._m_transitions.inc()

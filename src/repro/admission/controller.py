@@ -142,6 +142,10 @@ class AdmissionController:
         self._held: Dict[int, Tuple[Reservation, Priority]] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._pumping = False
+        # Pre-bound decision log (same pattern as the metric instruments):
+        # every verdict below is mirrored as a structured decision event
+        # so `python -m repro explain` can reconstruct per-session chains.
+        self._decisions = simulator.obs.decisions
         metrics = simulator.obs.metrics
         self._m_admitted = metrics.counter("admission.admitted")
         self._m_degraded = metrics.counter("admission.degraded")
@@ -194,6 +198,9 @@ class AdmissionController:
                 break
             victim.preempted = True
             self._m_preempted.inc()
+            if self._decisions.enabled:
+                self._decisions.emit("preempt", victim.label, actor=self.name,
+                                     bps=victim.bps)
             tracer = self.simulator.obs.tracer
             if tracer.enabled:
                 tracer.instant("admission:preempt", "admission",
@@ -213,6 +220,10 @@ class AdmissionController:
                 and contract.priority is Priority.BACKGROUND
                 and self.utilization >= self.high_watermark - 1e-12):
             self._m_shed.inc()
+            if self._decisions.enabled:
+                self._decisions.emit("shed", label, actor=self.name,
+                                     reason="watermark",
+                                     utilization=round(self.utilization, 4))
             raise AdmissionError(
                 f"{self.name}: shedding background work "
                 f"({self.utilization:.0%} of {self.channel.name!r} reserved, "
@@ -221,6 +232,9 @@ class AdmissionController:
         available = self.channel.available_bps
         if available + 1e-9 >= contract.bps:
             self._m_admitted.inc()
+            if self._decisions.enabled:
+                self._decisions.emit("admit", label, actor=self.name,
+                                     bps=contract.bps)
             return self._grant(contract.bps, contract, label)
         if self.preempt and contract.priority is Priority.INTERACTIVE:
             self._pumping = True  # freed bandwidth is for this request
@@ -230,13 +244,20 @@ class AdmissionController:
                 self._pumping = False
             if self.channel.available_bps + 1e-9 >= contract.bps:
                 self._m_admitted.inc()
+                if self._decisions.enabled:
+                    self._decisions.emit("admit", label, actor=self.name,
+                                         bps=contract.bps, via="preemption")
                 return self._grant(contract.bps, contract, label)
             available = self.channel.available_bps
         floor = contract.bps * contract.min_fraction
         if contract.min_fraction < 1.0 and available + 1e-9 >= floor and available > 0:
             self._m_degraded.inc()
-            return self._grant(min(available, contract.bps), contract,
-                               f"{label}-degraded")
+            granted = min(available, contract.bps)
+            if self._decisions.enabled:
+                self._decisions.emit("degrade", label, actor=self.name,
+                                     bps=granted, requested_bps=contract.bps,
+                                     fraction=round(granted / contract.bps, 4))
+            return self._grant(granted, contract, f"{label}-degraded")
         return None
 
     # -- synchronous admission (session connect path) ----------------------
@@ -250,6 +271,10 @@ class AdmissionController:
         reservation = self._decide(contract, label)
         if reservation is None:
             self._m_rejected.inc()
+            if self._decisions.enabled:
+                self._decisions.emit(
+                    "reject", label, actor=self.name, bps=contract.bps,
+                    available_bps=round(self.channel.available_bps, 3))
             raise AdmissionError(
                 f"{self.name}: cannot admit {contract.bps:g} b/s "
                 f"({self.channel.available_bps:g} of "
@@ -275,13 +300,17 @@ class AdmissionController:
         if reservation is not None:
             self._pump()
             return reservation
-        self._make_room_for(contract)
+        self._make_room_for(contract, label)
         entry = _Pending(contract, label, next(self._seq),
                          self.simulator.event(f"admit:{label}"),
                          self.simulator.now.seconds)
         heapq.heappush(self._queue, (entry.sort_key, entry))
         self._live_queued += 1
         self._m_queued.inc()
+        if self._decisions.enabled:
+            self._decisions.emit("queue", label, actor=self.name,
+                                 depth=self.queue_depth,
+                                 priority=contract.priority.name.lower())
         self._publish_depth()
         try:
             payload = yield Timeout(entry.event, contract.queue_timeout_s)
@@ -294,12 +323,18 @@ class AdmissionController:
                 # wins ties): give the bandwidth straight back.
                 entry.granted.release()
             self._m_timeouts.inc()
+            if self._decisions.enabled:
+                self._decisions.emit("queue-timeout", label, actor=self.name,
+                                     waited_s=contract.queue_timeout_s)
             raise AdmissionTimeoutError(
                 f"{self.name}: {label!r} spent {contract.queue_timeout_s:g}s "
                 f"queued without admission (priority "
                 f"{contract.priority.name.lower()})"
             ) from None
         if isinstance(payload, _Shed):
+            if self._decisions.enabled:
+                self._decisions.emit("shed", label, actor=self.name,
+                                     reason=payload.reason)
             raise AdmissionError(
                 f"{self.name}: {label!r} shed while queued ({payload.reason})"
             )
@@ -308,7 +343,7 @@ class AdmissionController:
         )
         return payload
 
-    def _make_room_for(self, contract: QoSContract) -> None:
+    def _make_room_for(self, contract: QoSContract, label: str = "stream") -> None:
         """Bounded queue: shed the worst queued entry or refuse this one."""
         if self.queue_depth < self.max_queue:
             return
@@ -327,6 +362,9 @@ class AdmissionController:
             worst.event.trigger(_Shed("displaced by higher-priority request"))
             return
         self._m_shed.inc()
+        if self._decisions.enabled:
+            self._decisions.emit("shed", label, actor=self.name,
+                                 reason="queue-full", depth=self.max_queue)
         raise AdmissionError(
             f"{self.name}: admission queue full "
             f"({self.max_queue} waiting); backpressure"
@@ -353,16 +391,23 @@ class AdmissionController:
                 if available + 1e-9 >= contract.bps:
                     grant = contract.bps
                     self._m_admitted.inc()
+                    verdict = "admit"
                 elif (contract.min_fraction < 1.0
                       and available + 1e-9 >= contract.bps * contract.min_fraction
                       and available > 0):
                     grant = min(available, contract.bps)
                     self._m_degraded.inc()
+                    verdict = "degrade"
                 else:
                     break  # head of queue cannot be served; keep order
                 heapq.heappop(self._queue)
                 self._live_queued -= 1
                 entry.granted = self._grant(grant, contract, entry.label)
+                if self._decisions.enabled:
+                    waited = self.simulator.now.seconds - entry.queued_at
+                    self._decisions.emit(verdict, entry.label, actor=self.name,
+                                         bps=grant, from_queue=True,
+                                         waited_s=round(waited, 6))
                 self._publish_depth()
                 entry.event.trigger(entry.granted)
         finally:
@@ -386,6 +431,9 @@ class AdmissionController:
             pass
         if priority is Priority.BACKGROUND:
             self._m_shed.inc()
+            if self._decisions.enabled:
+                self._decisions.emit("shed", f"device:{pool.kind}",
+                                     actor=self.name, reason="pool-busy")
             raise AdmissionError(
                 f"{self.name}: shedding background request for a "
                 f"{pool.kind!r} device ({pool.in_use}/{pool.count} busy)"

@@ -90,7 +90,8 @@ class ClusterStream:
 
     def __init__(self, cluster: "ClusterPlacementManager",
                  placement: ClusterPlacement, bps: float, label: str,
-                 priority: Priority, queue_timeout_s: float) -> None:
+                 priority: Priority, queue_timeout_s: float,
+                 min_fraction: float = 1.0) -> None:
         self.cluster = cluster
         self.simulator = cluster.simulator
         self.placement = placement
@@ -98,6 +99,11 @@ class ClusterStream:
         self.label = label
         self.priority = priority
         self.queue_timeout_s = queue_timeout_s
+        #: degraded-service floor forwarded into the per-node QoS
+        #: contract: 1.0 (default) keeps the historical all-or-nothing
+        #: admission; below 1.0 a congested failover target may admit
+        #: the stream at reduced rate instead of refusing it.
+        self.min_fraction = min_fraction
         self.bits_read = 0
         self.failovers = 0
         self.closed = False
@@ -154,7 +160,7 @@ class ClusterStream:
             node.account_read(bits)
 
         yield from with_retries(self.simulator, attempt,
-                                self.cluster.retry_policy)
+                                self.cluster.retry_policy, label=self.label)
         self._pos_bits += bits
 
     def _ensure(self, shard: ClusterShard) -> Generator:
@@ -177,6 +183,7 @@ class ClusterStream:
         last_error: Optional[BaseException] = None
         for node in candidates:
             contract = QoSContract(self.bps, self.priority,
+                                   min_fraction=self.min_fraction,
                                    queue_timeout_s=max(self.queue_timeout_s,
                                                        0.001))
             try:
@@ -241,6 +248,7 @@ class ClusterPlacementManager:
         self._placements: Dict[int, ClusterPlacement] = {}
         self._keys = itertools.count(1)
         self.failovers = 0
+        self._decisions = simulator.obs.decisions
         metrics = simulator.obs.metrics
         self._m_placements = metrics.counter("cluster.placements")
         self._m_reads = metrics.counter("cluster.reads")
@@ -364,14 +372,17 @@ class ClusterPlacementManager:
     def open_read(self, value: MediaValue, bps: float,
                   label: str = "cluster-read",
                   priority: Priority = Priority.STANDARD,
-                  queue_timeout_s: float = 0.0) -> ClusterStream:
+                  queue_timeout_s: float = 0.0,
+                  min_fraction: float = 1.0) -> ClusterStream:
         """A failover-capable stream over a placed value.
 
         With ``queue_timeout_s`` > 0 admission may queue in virtual time
         (bounded by the timeout); 0 means fail-fast to the next replica.
+        ``min_fraction`` < 1.0 lets a congested replica admit the stream
+        degraded (at the floor rate) rather than refuse it outright.
         """
         return ClusterStream(self, self.placement_of(value), bps, label,
-                             priority, queue_timeout_s)
+                             priority, queue_timeout_s, min_fraction)
 
     def _route(self, shard: ClusterShard,
                exclude: Tuple[str, ...] = ()) -> List[StorageNode]:
@@ -407,6 +418,9 @@ class ClusterPlacementManager:
     def _node_down(self, node: StorageNode) -> None:
         self._m_node_deaths.inc()
         self._refresh_health()
+        if self._decisions.enabled:
+            self._decisions.emit("node-down", node.name, actor="cluster",
+                                 under_replicated=len(self.under_replicated()))
         tracer = self.simulator.obs.tracer
         if tracer.enabled:
             tracer.instant("cluster:node-down", "cluster", node=node.name)
@@ -415,6 +429,8 @@ class ClusterPlacementManager:
     def _node_up(self, node: StorageNode) -> None:
         self._m_node_restores.inc()
         self._refresh_health()
+        if self._decisions.enabled:
+            self._decisions.emit("node-up", node.name, actor="cluster")
         tracer = self.simulator.obs.tracer
         if tracer.enabled:
             tracer.instant("cluster:node-up", "cluster", node=node.name)
@@ -423,6 +439,9 @@ class ClusterPlacementManager:
     def _note_failover(self, label: str, old: str, new: str) -> None:
         self.failovers += 1
         self._m_failovers.inc()
+        if self._decisions.enabled:
+            self._decisions.emit("failover", label, actor="cluster",
+                                 src=old, dst=new)
         tracer = self.simulator.obs.tracer
         if tracer.enabled:
             tracer.instant("cluster:failover", "cluster",

@@ -188,5 +188,23 @@ class SessionError(AVDBError):
     """Client session misuse (e.g. using a closed session)."""
 
 
+class WatchError(AVDBError):
+    """Misuse of the supervision layer (:mod:`repro.watch`)."""
+
+
+class InvariantBreachError(WatchError):
+    """A continuously-checked system invariant was violated.
+
+    Deliberately *not* a :class:`FaultError`: injected faults are
+    expected and measured, but an invariant breach means the system's
+    own bookkeeping went wrong, so it fails the run fast (the kernel
+    records it as a failure and re-raises it from ``run()``).
+    """
+
+
+class SLOViolationError(WatchError):
+    """A hard SLO failed (only raised when the watchdog is told to)."""
+
+
 class RenderError(AVDBError):
     """Error in the 3D rendering substrate."""

@@ -51,27 +51,41 @@ class RetryPolicy:
 
 def with_retries(simulator: Simulator,
                  make_attempt: Callable[[], Generator],
-                 policy: RetryPolicy = RetryPolicy()) -> Generator:
+                 policy: RetryPolicy = RetryPolicy(),
+                 label: Optional[str] = None) -> Generator:
     """DES subroutine: run ``make_attempt()`` until it succeeds or the
     policy is exhausted.
 
     ``make_attempt`` must build a *fresh* generator per call (a generator
     cannot be re-run).  On a retryable failure the subroutine sleeps the
     policy's backoff in virtual time and tries again; the final failure
-    re-raises.
+    re-raises.  With ``label`` set, each retry (and a final exhaustion)
+    is recorded as a decision event about that subject, tying recovery
+    activity into the session's causal chain
+    (:mod:`repro.obs.decisions`).
     """
     retries = simulator.obs.metrics.counter("faults.retries")
+    decisions = simulator.obs.decisions
     attempt = 0
     while True:
         try:
             result = yield from make_attempt()
             return result
-        except policy.retry_on:
+        except policy.retry_on as exc:
             attempt += 1
             if attempt >= policy.max_attempts:
+                if label is not None and decisions.enabled:
+                    decisions.emit("retries-exhausted", label,
+                                   actor="recovery", attempts=attempt,
+                                   error=type(exc).__name__)
                 raise
             retries.inc()
-            yield Delay(policy.delay_for(attempt - 1))
+            backoff = policy.delay_for(attempt - 1)
+            if label is not None and decisions.enabled:
+                decisions.emit("retry", label, actor="recovery",
+                               attempt=attempt, error=type(exc).__name__,
+                               backoff_s=backoff)
+            yield Delay(backoff)
 
 
 def with_deadline(simulator: Simulator, gen: Generator, seconds: float,
@@ -88,6 +102,10 @@ def with_deadline(simulator: Simulator, gen: Generator, seconds: float,
         result = yield Timeout(proc, seconds)
     except DeadlineExceeded:
         proc.interrupt()
+        decisions = simulator.obs.decisions
+        if decisions.enabled:
+            decisions.emit("deadline", name, actor="recovery",
+                           seconds=seconds)
         raise
     return result
 

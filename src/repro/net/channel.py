@@ -109,7 +109,8 @@ class Reservation:
     def release(self) -> None:
         if not self.released:
             self.released = True
-            self.channel._release(self)
+            if not self.channel.debug_leak_releases:
+                self.channel._release(self)
             if self.on_release is not None:
                 hook, self.on_release = self.on_release, None
                 hook(self)
@@ -144,6 +145,12 @@ class Channel:
         #: (seeded loss/jitter model) armed by a FaultInjector, or None.
         self.faults = None
         self.retransmits = 0
+        #: seeded-bug hook for the watch layer's invariant-breach demo:
+        #: when True, :meth:`Reservation.release` marks the reservation
+        #: released but "forgets" to return its bandwidth, so the released
+        #: reservation stays registered and ``reserved_bps`` stays
+        #: inflated — the leak the reservation-conservation probe catches.
+        self.debug_leak_releases = False
         metrics = simulator.obs.metrics
         self._m_bits_sent = metrics.counter("net.bits_sent")
         self._m_admission_failures = metrics.counter("net.admission_failures")

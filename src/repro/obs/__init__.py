@@ -33,6 +33,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
+from repro.obs.decisions import (
+    NULL_DECISIONS,
+    DecisionEvent,
+    DecisionLog,
+    NullDecisionLog,
+)
 from repro.obs.export import (
     canonical_trace_bytes,
     chrome_trace,
@@ -62,6 +68,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram",
     "TIME_BUCKETS_S", "LATENCY_BUCKETS_MS", "DEPTH_BUCKETS",
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceEvent",
+    "DecisionLog", "NullDecisionLog", "NULL_DECISIONS", "DecisionEvent",
     "canonical_trace_bytes",
     "chrome_trace", "chrome_trace_events", "write_chrome_trace",
     "write_jsonl", "text_summary", "write_summary",
@@ -69,13 +76,14 @@ __all__ = [
 
 
 class Obs:
-    """One observability context: a metrics registry plus a tracer."""
+    """One observability context: metrics, a tracer, and a decision log."""
 
-    __slots__ = ("metrics", "tracer")
+    __slots__ = ("metrics", "tracer", "decisions")
 
-    def __init__(self, metrics=None, tracer=None) -> None:
+    def __init__(self, metrics=None, tracer=None, decisions=None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.decisions = decisions if decisions is not None else NULL_DECISIONS
 
     @property
     def tracing(self) -> bool:
@@ -83,11 +91,12 @@ class Obs:
 
     def __repr__(self) -> str:
         return (f"Obs({len(self.metrics)} metrics, "
-                f"tracing={'on' if self.tracing else 'off'})")
+                f"tracing={'on' if self.tracing else 'off'}, "
+                f"decisions={'on' if self.decisions.enabled else 'off'})")
 
 
-#: the fully disabled context (null metrics + null tracer).
-NULL_OBS = Obs(NULL_METRICS, NULL_TRACER)
+#: the fully disabled context (null metrics + null tracer + null decisions).
+NULL_OBS = Obs(NULL_METRICS, NULL_TRACER, NULL_DECISIONS)
 
 _scopes: List[Obs] = []
 
@@ -112,14 +121,19 @@ def attach(obs: Optional[Obs] = None) -> Obs:
 
 
 @contextmanager
-def scoped(tracing: bool = True) -> Iterator[Obs]:
+def scoped(tracing: bool = True, decisions: bool = True) -> Iterator[Obs]:
     """Install an ambient Obs; components built inside share it.
 
     With ``tracing=True`` (default) the scope gets a live
     :class:`Tracer`; the first :class:`~repro.sim.Simulator` constructed
-    inside binds its virtual clock to it.
+    inside binds its virtual clock to it.  With ``decisions=True``
+    (default) the scope also records structured decision events
+    (:mod:`repro.obs.decisions`) — control-plane verdicts are rare next
+    to data-plane events, so the log stays on even where tracing is off.
     """
-    obs = Obs(MetricsRegistry(), Tracer() if tracing else NULL_TRACER)
+    obs = Obs(MetricsRegistry(),
+              Tracer() if tracing else NULL_TRACER,
+              DecisionLog() if decisions else NULL_DECISIONS)
     _scopes.append(obs)
     try:
         yield obs

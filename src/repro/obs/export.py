@@ -154,18 +154,20 @@ def text_summary(metrics: MetricsRegistry,
             if _layer_of(name) != layer:
                 continue
             if not header_done:
-                lines.append(f"  {'histogram':<34} {'count':>7} {'mean':>9}"
-                             f" {'p50':>9} {'p95':>9} {'max':>9}")
+                lines.append(f"  {'histogram':<34} {'count':>7} {'sum':>10}"
+                             f" {'mean':>9} {'min':>9} {'p50':>9} {'p95':>9}"
+                             f" {'p99':>9} {'max':>9}")
                 header_done = True
             if h.count:
                 lines.append(
-                    f"  {name:<34} {h.count:>7} {h.mean:>9.4g}"
+                    f"  {name:<34} {h.count:>7} {h.total:>10.5g}"
+                    f" {h.mean:>9.4g} {h.min:>9.4g}"
                     f" {h.percentile(50):>9.4g} {h.percentile(95):>9.4g}"
-                    f" {h.max:>9.4g}"
+                    f" {h.percentile(99):>9.4g} {h.max:>9.4g}"
                 )
             else:
-                lines.append(f"  {name:<34} {0:>7} {'-':>9} {'-':>9}"
-                             f" {'-':>9} {'-':>9}")
+                lines.append(f"  {name:<34} {0:>7} {'-':>10} {'-':>9}"
+                             f" {'-':>9} {'-':>9} {'-':>9} {'-':>9} {'-':>9}")
     if not layers:
         lines.append("  (no metrics recorded)")
 

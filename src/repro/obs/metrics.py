@@ -225,9 +225,13 @@ class MetricsRegistry:
             else:
                 out[name] = {
                     "count": inst.count,
+                    "sum": inst.total,
                     "mean": inst.mean,
                     "min": inst.min if inst.count else None,
                     "max": inst.max if inst.count else None,
+                    "p50": inst.percentile(50) if inst.count else None,
+                    "p95": inst.percentile(95) if inst.count else None,
+                    "p99": inst.percentile(99) if inst.count else None,
                     "buckets": inst.bucket_counts(),
                 }
         return out

@@ -3,7 +3,8 @@
 A scenario name is resolved across the CLI registries in order — trace
 scenarios (:mod:`repro.obs.scenarios`), fault scenarios
 (:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`),
-cluster scenarios (:mod:`repro.cluster`) — so every scenario the CLI
+cluster scenarios (:mod:`repro.cluster`), watch scenarios
+(:mod:`repro.watch`) — so every scenario the CLI
 can run can also be profiled.  Runs execute
 under the default observability configuration (metrics on, tracing
 off), which is the hot path the optimization work targets.
@@ -26,6 +27,7 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
     from repro.faults import SCENARIOS as FAULT_SCENARIOS
     from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
+    from repro.watch import SCENARIOS as WATCH_SCENARIOS
 
     return [
         ("trace", TRACE_SCENARIOS, lambda fn: fn),
@@ -34,6 +36,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
         ("overload", OVERLOAD_SCENARIOS,
          lambda fn: lambda: fn(seed=0, admission=True)),
         ("cluster", CLUSTER_SCENARIOS,
+         lambda fn: lambda: fn(seed=0)),
+        ("watch", WATCH_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
     ]
 

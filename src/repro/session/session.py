@@ -366,6 +366,10 @@ class Session:
         if self.degraded_streams == 0:
             self._m_degraded_sessions.inc()
         self.degraded_streams += 1
+        if self.obs.decisions.enabled:
+            self.obs.decisions.emit("session-degraded", self.name,
+                                    actor="session",
+                                    fraction=round(fraction, 4))
         self.obs.metrics.gauge(
             f"session.{self.name}.degraded_fraction"
         ).set(fraction)

@@ -346,6 +346,7 @@ class Simulator:
         self._first_failure: Optional[BaseException] = None
         self.obs = attach(obs)
         self.obs.tracer.bind_clock(lambda: self._now)
+        self.obs.decisions.bind_clock(lambda: self._now)
         # Pre-bound tracer: the disabled-tracing check in spawn() is one
         # attribute load instead of two.
         self._tracer = self.obs.tracer

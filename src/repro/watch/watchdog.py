@@ -1,0 +1,174 @@
+"""The watchdog: always-on supervision over a running scenario.
+
+A :class:`Watchdog` composes the three watch primitives —
+:class:`~repro.watch.invariants.InvariantMonitor`,
+:class:`~repro.watch.slo.SLOEngine` and
+:class:`~repro.watch.recorder.FlightRecorder` — behind one object a
+scenario arms and starts::
+
+    dog = Watchdog(sim, slos=default_slos(), bundle_dir="out")
+    dog.arm(channels=[trunk], controllers=[control], channels_complete=True)
+    dog.start(cadence_s=0.05, horizon_s=2.0)
+    ... run the workload ...
+    report = dog.teardown()
+
+The cadence process wakes on the virtual clock, runs every invariant
+probe, and evaluates the SLO catalog.  An invariant breach is the
+fail-fast path: the watchdog emits an ``invariant-breach`` decision,
+writes a postmortem bundle, and raises
+:class:`~repro.errors.InvariantBreachError` — which the kernel records
+as a *failure* (not a fault) and re-raises from ``Simulator.run()``, so
+a corrupted run cannot quietly continue.  A hard SLO failure dumps a
+bundle too but by default only records the ``slo-breach`` decision; pass
+``raise_on_hard_slo=True`` to make it fatal as well.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Generator, List, Optional, Union
+
+from repro.errors import InvariantBreachError, SLOViolationError
+from repro.sim import Delay, Simulator
+from repro.watch.invariants import Breach, InvariantMonitor
+from repro.watch.recorder import FlightRecorder
+from repro.watch.slo import SLOEngine, SLOSpec
+
+PathLike = Union[str, Path]
+
+
+class Watchdog:
+    """Arms probes and SLOs over a scenario and supervises it."""
+
+    def __init__(self, simulator: Simulator,
+                 slos=(),
+                 bundle_dir: Optional[PathLike] = None,
+                 raise_on_hard_slo: bool = False,
+                 name: str = "watchdog") -> None:
+        self.simulator = simulator
+        self.name = name
+        self.bundle_dir = Path(bundle_dir) if bundle_dir is not None else None
+        self.raise_on_hard_slo = raise_on_hard_slo
+        self.monitor = InvariantMonitor(simulator)
+        self.engine = SLOEngine(simulator.obs.metrics, slos)
+        self.recorder = FlightRecorder(simulator.obs)
+        self._decisions = simulator.obs.decisions
+        self._bundle_seq = 0
+        self._slo_bundled: set = set()
+        self.bundle_paths: List[Path] = []
+        self.ticks = 0
+
+    # -- setup -------------------------------------------------------------
+    def arm(self, channels=(), allocators=(), controllers=(), cluster=None,
+            channels_complete: bool = False) -> "Watchdog":
+        """Arm invariant probes and flight-recorder state dumps."""
+        self.monitor.arm(channels=channels, allocators=allocators,
+                         controllers=controllers, cluster=cluster,
+                         channels_complete=channels_complete)
+        self.recorder.track(*channels, *controllers, *allocators)
+        if cluster is not None:
+            self.recorder.track(cluster)
+        return self
+
+    def add_slo(self, spec: SLOSpec) -> SLOSpec:
+        return self.engine.add(spec)
+
+    # -- the cadence process -----------------------------------------------
+    def start(self, cadence_s: float = 0.05,
+              horizon_s: float = 10.0) -> None:
+        """Spawn the supervision process (bounded by ``horizon_s``).
+
+        The bound matters: an unbounded ticker would keep the event heap
+        non-empty forever and ``Simulator.run()`` would never drain.
+        """
+        if cadence_s <= 0:
+            raise SLOViolationError(
+                f"watchdog cadence must be positive, got {cadence_s}")
+        self.simulator.spawn(self._run(cadence_s, horizon_s),
+                             name=f"{self.name}:ticker")
+
+    def _run(self, cadence_s: float, horizon_s: float) -> Generator:
+        while self.simulator.now.seconds + cadence_s <= horizon_s:
+            yield Delay(cadence_s)
+            self.check()
+
+    # -- checking ----------------------------------------------------------
+    def _write_bundle(self, doc: Dict[str, object]) -> Optional[Path]:
+        if self.bundle_dir is None:
+            return None
+        self._bundle_seq += 1
+        path = self.recorder.dump(
+            doc, self.bundle_dir / f"postmortem-{self._bundle_seq:03d}.json")
+        self.bundle_paths.append(path)
+        return path
+
+    def _fail(self, breaches: List[Breach]) -> None:
+        first = breaches[0]
+        if self._decisions.enabled:
+            for breach in breaches:
+                self._decisions.emit("invariant-breach", breach.component,
+                                     actor=self.name,
+                                     invariant=breach.invariant,
+                                     detail=breach.detail)
+        doc = self.recorder.bundle("invariant-breach",
+                                   self.simulator.now.seconds,
+                                   breaches=breaches,
+                                   slo_report=self.engine.report())
+        path = self._write_bundle(doc)
+        where = f" (postmortem: {path})" if path is not None else ""
+        raise InvariantBreachError(f"{first}{where}")
+
+    def _check_hard_slos(self) -> None:
+        results = self.engine.evaluate()
+        failed = [r for r in self.engine.hard_failures(results)
+                  if r.spec.name not in self._slo_bundled]
+        if not failed:
+            return
+        for result in failed:
+            self._slo_bundled.add(result.spec.name)
+            if self._decisions.enabled:
+                self._decisions.emit("slo-breach", result.spec.name,
+                                     actor=self.name,
+                                     klass=result.spec.klass,
+                                     value=round(result.value, 6),
+                                     target=result.spec.target,
+                                     burn=round(result.burn, 4))
+        doc = self.recorder.bundle("slo-hard-fail",
+                                   self.simulator.now.seconds,
+                                   slo_report=self.engine.report())
+        self._write_bundle(doc)
+        if self.raise_on_hard_slo:
+            worst = max(failed, key=lambda r: r.burn)
+            raise SLOViolationError(
+                f"hard SLO {worst.spec.name!r} failed: "
+                f"value {worst.value:g} vs target {worst.spec.target:g} "
+                f"(burn {worst.burn:.2f})")
+
+    def check(self) -> None:
+        """One supervision tick: invariants first, then hard SLOs."""
+        self.ticks += 1
+        breaches = self.monitor.check_now()
+        if breaches:
+            self._fail(breaches)
+        self._check_hard_slos()
+
+    def teardown(self, strict: bool = True) -> Dict[str, object]:
+        """Final audit: end-state invariants + the full SLO report.
+
+        With ``strict`` (default) any teardown breach raises
+        :class:`~repro.errors.InvariantBreachError`; otherwise the
+        breaches are only recorded in the returned report.
+        """
+        breaches = self.monitor.check_teardown()
+        if breaches and strict:
+            self._fail(breaches)
+        report = self.engine.report()
+        report["teardown_breaches"] = [b.to_dict() for b in breaches]
+        report["ticks"] = self.ticks
+        report["checks"] = self.monitor.checks
+        return report
+
+    def __repr__(self) -> str:
+        return (f"Watchdog({self.name!r}, {self.ticks} ticks, "
+                f"{len(self.monitor.breaches)} breaches, "
+                f"{len(self.engine.specs)} SLOs)")

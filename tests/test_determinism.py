@@ -8,6 +8,11 @@ the schedule — event order, virtual timestamps, or metric totals — the
 exported bytes change and these tests fail.  That is what "preserving
 epoch semantics and (time, seq) determinism exactly" means, made
 executable.
+
+The hashes cover the metrics snapshot too, so an *intentional* snapshot
+format change (e.g. the histogram ``sum``/percentile fields) requires
+regenerating ``trace_hashes.json`` from the new format — a deliberate,
+reviewed step, unlike a schedule perturbation.
 """
 
 from __future__ import annotations

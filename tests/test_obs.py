@@ -9,6 +9,7 @@ from repro.obs import (
     NULL_OBS,
     NULL_TRACER,
     Counter,
+    DecisionLog,
     Gauge,
     Histogram,
     MetricError,
@@ -252,3 +253,110 @@ class TestExport:
         doc = chrome_trace(obs.tracer)
         assert "metrics" not in doc.get("otherData", {})
         json.dumps(doc)
+
+
+class TestSpanExceptionSafety:
+    """Regression: a span must close (with the error recorded) when its
+    ``with`` body raises — a span leaked open would vanish from the
+    export and skew every duration under it."""
+
+    def test_span_exit_records_error_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.begin("risky", "test"):
+                raise ValueError("boom")
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.phase == "X"  # the span did end
+        assert "ValueError" in event.args["error"]
+
+    def test_span_exit_without_exception_has_no_error(self):
+        tracer = Tracer()
+        with tracer.begin("calm", "test"):
+            pass
+        assert tracer.events[0].args is None
+
+    def test_failing_span_still_exports(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.begin("doomed", "test"):
+                raise RuntimeError("dead")
+        events = chrome_trace_events(tracer)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 1
+        assert "RuntimeError" in complete[0]["args"]["error"]
+
+
+class TestSnapshotAggregates:
+    """Histogram snapshots carry exact count/sum/min/max + percentiles."""
+
+    def test_histogram_snapshot_fields(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", (1.0, 10.0, 100.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = registry.snapshot()["t"]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(56.0)
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert snap["p50"] == 1.0           # bucket-resolution estimate
+        assert snap["p99"] == 50.0          # capped at the true max
+        json.dumps(snap)
+
+    def test_empty_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        snap = registry.snapshot()["empty"]
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+        assert snap["min"] is None and snap["p95"] is None
+
+    def test_text_summary_has_percentile_columns(self):
+        registry = MetricsRegistry()
+        registry.histogram("stream.jitter_ms", (1.0, 10.0)).observe(2.0)
+        report = text_summary(registry)
+        assert "p50" in report and "p95" in report and "p99" in report
+        assert "sum" in report
+
+
+class TestDecisionLog:
+    def test_emit_chain_and_subjects(self):
+        log = DecisionLog()
+        log.emit("admit", "s-1", actor="ctl", bps=100.0)
+        log.emit("admit", "s-2", actor="ctl")
+        log.emit("degrade", "s-1", actor="ctl", fraction=0.5)
+        assert log.subjects() == ["s-1", "s-2"]
+        chain = log.chain("s-1")
+        assert [e.kind for e in chain] == ["admit", "degrade"]
+        assert chain[0].args == {"bps": 100.0}
+        assert [e.kind for e in log.by_kind("degrade")] == ["degrade"]
+        assert len(log) == 3
+
+    def test_to_dict_is_plain_data(self):
+        log = DecisionLog()
+        log.emit("shed", "bg-0", actor="ctl", reason="watermark")
+        doc = log.events[0].to_dict()
+        assert doc["kind"] == "shed" and doc["subject"] == "bg-0"
+        json.dumps(doc)
+
+    def test_simulator_binds_virtual_clock(self):
+        with scoped():
+            sim = Simulator()
+
+            def proc():
+                yield Delay(1.25)
+                sim.obs.decisions.emit("deadline", "p-0", actor="test")
+
+            sim.spawn(proc(), "p0")
+            sim.run()
+            events = current().decisions.events
+        assert events[0].ts == pytest.approx(1.25)
+
+    def test_scoped_can_disable_decisions(self):
+        with scoped(decisions=False):
+            obs = current()
+            assert not obs.decisions.enabled
+            obs.decisions.emit("admit", "s-1")
+            assert len(obs.decisions) == 0
+
+    def test_null_obs_has_null_decisions(self):
+        assert not NULL_OBS.decisions.enabled
