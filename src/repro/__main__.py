@@ -25,6 +25,12 @@ scenario (read storm, node-kill failover, rebalance-after-join) against
 a simulated N-node cluster and prints throughput/failover/repair facts
 plus a deterministic summary line.
 
+``python -m repro cache <scenario>`` runs a named cache-tier scenario
+(Zipf flash crowd, version churn) through the two-level block cache
+hierarchy in front of the cluster and prints goodput/hit-ratio facts
+plus a deterministic summary line; ``--no-cache`` runs the cache-less
+baseline and ``--compare`` runs both under the identical workload.
+
 ``python -m repro watch <scenario>`` runs a named supervision scenario
 under the ``repro.watch`` layer (SLO engine + invariant monitor +
 flight recorder) and prints error-budget burn, breach facts and a
@@ -226,6 +232,43 @@ def cluster(scenario_name: str, seed: int, nodes: int | None) -> int:
     return 0
 
 
+def cache(scenario_name: str, seed: int, no_cache: bool, compare: bool,
+          policy: str) -> int:
+    """Run cache-tier scenarios and print goodput/hit-ratio facts."""
+    import inspect
+
+    from repro.cache import SCENARIOS, summary_line
+    from repro.obs import scoped
+
+    names = _lookup_scenario("cache", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
+        return 2
+
+    for name in names:
+        fn = SCENARIOS[name]
+        takes_cached = "cached" in inspect.signature(fn).parameters
+        if (no_cache or compare) and not takes_cached:
+            print(f"cache scenario {name!r} has no cache-less baseline; "
+                  f"drop --no-cache/--compare", file=sys.stderr)
+            return 2
+        modes = (True, False) if compare else (not no_cache,)
+        for cached in modes:
+            # A fresh observability scope per run keeps cache.* counters
+            # from bleeding between runs in one process.
+            with scoped():
+                if takes_cached:
+                    facts = fn(seed=seed, cached=cached, policy=policy)
+                else:
+                    facts = fn(seed=seed, policy=policy)
+            label = f"cached, {policy}" if cached else "no cache"
+            print(f"scenario {name!r} ({label}, seed {seed}):")
+            for key, value in facts.items():
+                print(f"  {key} = {value}")
+            print(summary_line(name, facts))
+    return 0
+
+
 def watch(scenario_name: str, seed: int, bundle_dir: Path | None) -> int:
     """Run supervised scenarios and print SLO/invariant facts."""
     from repro.obs import scoped
@@ -363,6 +406,21 @@ def main(argv=None) -> int:
                                 help="workload seed (default: 0)")
     cluster_parser.add_argument("--nodes", type=int, default=None,
                                 help="override the scenario's node count")
+    cache_parser = sub.add_parser(
+        "cache", help="run a seeded cache-tier scenario against the cluster"
+    )
+    cache_parser.add_argument("scenario", nargs="?", default="zipf-crowd",
+                              help="cache scenario name, or 'all' "
+                                   "(default: zipf-crowd)")
+    cache_parser.add_argument("--seed", type=int, default=0,
+                              help="workload seed (default: 0)")
+    cache_parser.add_argument("--no-cache", action="store_true",
+                              help="run the cache-less baseline")
+    cache_parser.add_argument("--compare", action="store_true",
+                              help="run both with and without the cache tier")
+    cache_parser.add_argument("--policy", default="lru",
+                              choices=("lru", "cost-aware"),
+                              help="eviction policy (default: lru)")
     watch_parser = sub.add_parser(
         "watch", help="run a scenario under the SLO/invariant watchdog"
     )
@@ -404,6 +462,9 @@ def main(argv=None) -> int:
         return trace(args.scenario, args.out, args.canonical)
     if args.command == "cluster":
         return cluster(args.scenario, args.seed, args.nodes)
+    if args.command == "cache":
+        return cache(args.scenario, args.seed, args.no_cache, args.compare,
+                     args.policy)
     if args.command == "watch":
         return watch(args.scenario, args.seed, args.bundle_dir)
     if args.command == "explain":
@@ -418,4 +479,13 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| grep -q``) closed the pipe
+        # early; that's its prerogative, not a scenario failure.  Drop
+        # stdout so the interpreter's shutdown flush doesn't raise too.
+        import os
+        import sys
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

@@ -56,6 +56,9 @@ class StorageNode:
         self.live = True
         self.bits_read = 0
         self.deaths = 0
+        #: optional per-node BlockCache, attached by repro.cache.attach_caches.
+        #: ClusterStream._read_span consults it before queueing disk reads.
+        self.block_cache = None
         #: cluster hooks, wired by ClusterPlacementManager.add_node.
         self.on_down: Optional[Callable[["StorageNode"], None]] = None
         self.on_up: Optional[Callable[["StorageNode"], None]] = None
@@ -71,9 +74,25 @@ class StorageNode:
 
     @property
     def load_key(self):
-        """Deterministic routing sort key: least loaded first, name-tied."""
-        return (self.admission.queue_depth, self.admission.utilization,
-                self.name)
+        """Deterministic routing sort key: least loaded first, name-tied.
+
+        Every component here is a live O(1) counter: the admission
+        queue depth and disk queue depth are incremented synchronously
+        with enqueue, and ``utilization`` divides the controller's own
+        reserved-bps ledger.  Crucially none of it reads the metrics
+        snapshot — NIC traffic accounting is *batched* behind
+        MetricsRegistry flush hooks (PR 4), so a snapshot-derived score
+        lags the crowd by a flush interval and keeps routing new
+        readers at the replica that was idle one snapshot ago.  The
+        disk queue depth is what actually sees a flash crowd first:
+        admitted readers stack up in the C-SCAN queue long before NIC
+        reservations saturate.  ``in_service`` counts the request the
+        scheduler already picked — a disk mid-transfer is load even
+        when nothing is queued behind it.
+        """
+        return (self.admission.queue_depth + self.scheduler.queue_depth
+                + self.scheduler.in_service,
+                self.admission.utilization, self.name)
 
     def position_of(self, extent: Extent, byte_offset: int = 0) -> int:
         """Map a byte inside an extent to a scheduler head position."""

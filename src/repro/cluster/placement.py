@@ -36,7 +36,7 @@ from repro.errors import (
 )
 from repro.faults.recovery import RetryPolicy, with_retries
 from repro.net.channel import Reservation
-from repro.sim import Simulator
+from repro.sim import Delay, Simulator
 from repro.storage.extents import Extent
 from repro.values.base import MediaValue
 
@@ -50,6 +50,11 @@ class ClusterShard:
     offset: int                      # byte offset within the value
     nbytes: int
     replicas: Dict[str, Extent] = field(default_factory=dict)
+    #: node name -> count of ClusterStreams currently connected to that
+    #: replica.  RepairManager trim/rebalance must not free an extent a
+    #: live reader is positioned on; a busy replica defers its trim
+    #: until the last reader detaches (see RepairManager._trim_shard).
+    readers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def end(self) -> int:
@@ -65,6 +70,16 @@ class ClusterPlacement:
     nbytes: int
     replication: int
     shards: List[ClusterShard]
+    #: the R the client declared at place() time.  ``replication`` may
+    #: be raised above it temporarily (RepairManager.boost, flash
+    #: crowds) but must return to this value once the crowd passes —
+    #: the watch layer's teardown probe holds the cluster to it.
+    declared_replication: int = 0
+    #: authoritative content version.  Bumped by
+    #: ClusterPlacementManager.bump_version when the source value
+    #: changes; caches tag every block with the version they filled at
+    #: and must never serve a block whose tag lags this number.
+    version: int = 0
 
     def shard_at(self, byte_offset: int) -> ClusterShard:
         index = min(byte_offset // self.shards[0].nbytes,
@@ -121,6 +136,14 @@ class ClusterStream:
     def exhausted(self) -> bool:
         return self._pos_bits >= self.placement.nbytes * 8
 
+    def seek(self, bit_offset: int) -> None:
+        """Reposition the stream (cache tiers read-through at an offset)."""
+        if not 0 <= bit_offset <= self.placement.nbytes * 8:
+            raise ClusterError(
+                f"seek to bit {bit_offset} outside {self.placement.key!r}"
+            )
+        self._pos_bits = bit_offset
+
     def read(self, bits: int, deadline: Optional[float] = None) -> Generator:
         """DES subroutine: read ``bits`` from the stream position."""
         if self.closed:
@@ -147,8 +170,28 @@ class ClusterStream:
         def attempt() -> Generator:
             yield from self._ensure(shard)
             node = self._node
-            extent = shard.replicas[node.name]
+            extent = shard.replicas.get(node.name)
+            if extent is None:
+                # The replica vanished between routing and reading
+                # (trimmed or rebalanced away): treat the connection as
+                # lost so the retry re-routes to a surviving replica.
+                self._lost = True
+                raise NodeDownError(
+                    f"replica of {shard.key!r} on {node.name!r} was "
+                    f"removed mid-stream"
+                )
             byte_off = self._pos_bits // 8 - shard.offset
+            span_bytes = (bits + 7) // 8
+            version = self.placement.version
+            cache = node.block_cache
+            if (cache is not None
+                    and cache.get(shard.key, byte_off, span_bytes, version)):
+                # Block-cache hit: the extent bytes are already in node
+                # memory, so the read skips the disk queue entirely and
+                # streams out at NIC burst rate.
+                yield Delay(bits / node.nic.capacity_bps)
+                node.account_read(bits)
+                return
             position = node.position_of(extent, byte_off)
             try:
                 yield from node.scheduler.read(position, bits, deadline)
@@ -158,6 +201,8 @@ class ClusterStream:
                 self._lost = True
                 raise
             node.account_read(bits)
+            if cache is not None:
+                cache.put(shard.key, byte_off, span_bytes, version)
 
         yield from with_retries(self.simulator, attempt,
                                 self.cluster.retry_policy, label=self.label)
@@ -198,6 +243,7 @@ class ClusterStream:
                 continue
             self._node, self._reservation = node, reservation
             self._shard, self._lost = shard, False
+            shard.readers[node.name] = shard.readers.get(node.name, 0) + 1
             if prev is not None and node.name != prev:
                 self.failovers += 1
                 self.cluster._note_failover(self.label, prev, node.name)
@@ -208,6 +254,15 @@ class ClusterStream:
         ) from last_error
 
     def _disconnect(self) -> None:
+        if self._node is not None and self._shard is not None:
+            shard, name = self._shard, self._node.name
+            left = shard.readers.get(name, 0) - 1
+            if left > 0:
+                shard.readers[name] = left
+            else:
+                shard.readers.pop(name, None)
+                # A trim that found this replica busy is waiting for us.
+                self.cluster.repair.reader_detached(shard)
         if self._reservation is not None and not self._reservation.released:
             self._reservation.release()
         self._node = None
@@ -258,6 +313,8 @@ class ClusterPlacementManager:
         self._m_node_restores = metrics.counter("cluster.node_restores")
         self._m_nodes_live = metrics.gauge("cluster.nodes_live")
         self._m_under_replicated = metrics.gauge("cluster.under_replicated")
+        self._m_version_bumps = metrics.counter("cluster.version_bumps")
+        self._version_listeners: List = []
         from repro.cluster.repair import RepairManager
         self.repair = RepairManager(self, repair_bps_cap)
 
@@ -341,7 +398,8 @@ class ClusterPlacementManager:
             for node, extent in allocated:
                 node.device.free(extent)
             raise
-        placement = ClusterPlacement(vid, key, nbytes, r, placed)
+        placement = ClusterPlacement(vid, key, nbytes, r, placed,
+                                     declared_replication=r)
         self._placements[vid] = placement
         self._m_placements.inc()
         self._refresh_health()
@@ -363,6 +421,26 @@ class ClusterPlacementManager:
 
     def is_placed(self, value: MediaValue) -> bool:
         return id(value) in self._placements
+
+    def bump_version(self, value: MediaValue) -> int:
+        """The source value changed: advance the authoritative version.
+
+        Every cache layered over this placement is told to drop the
+        blocks it holds for the old version — the coherence contract is
+        that no cache ever serves bytes whose version tag lags the
+        placement's (the watch layer's cache-coherence probe re-derives
+        exactly this).
+        """
+        placement = self.placement_of(value)
+        placement.version += 1
+        self._m_version_bumps.inc()
+        for listener in self._version_listeners:
+            listener(placement)
+        return placement.version
+
+    def add_version_listener(self, listener) -> None:
+        """Register a callable invoked with the placement on each bump."""
+        self._version_listeners.append(listener)
 
     @property
     def placements(self) -> List[ClusterPlacement]:
@@ -386,7 +464,15 @@ class ClusterPlacementManager:
 
     def _route(self, shard: ClusterShard,
                exclude: Tuple[str, ...] = ()) -> List[StorageNode]:
-        """Live replica holders, least-loaded first (queue depth, util)."""
+        """Live replica holders, least-loaded first (queue depth, util).
+
+        ``load_key`` must be built from live O(1) counters (admission
+        queue depth, disk queue depth, reservation utilization) — never
+        from the metrics snapshot, whose Channel traffic accounting is
+        batched behind flush hooks and lags the crowd by a flush
+        interval.  Ranking on the snapshot routes every new reader to
+        the replica that *was* idle, saturating it.
+        """
         nodes = [self._nodes[name] for name in sorted(shard.replicas)
                  if name not in exclude and name in self._nodes]
         live = [node for node in nodes if node.available]

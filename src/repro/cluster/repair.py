@@ -60,12 +60,18 @@ class RepairManager:
         self._m_repair_bits = metrics.counter("cluster.repair_bits")
         self._m_trimmed = metrics.counter("cluster.trimmed")
         self._m_rebalanced = metrics.counter("cluster.rebalanced")
+        self._m_trim_deferred = metrics.counter("cluster.trim_deferred")
+        self._m_boosts = metrics.counter("cluster.replica_boosts")
+        self._m_unboosts = metrics.counter("cluster.replica_unboosts")
         self._proc: Optional[Process] = None
         self._kick_event: Optional[SimEvent] = None
         self._stopping = False
         #: shard keys whose repair failed its attempt budget; skipped
         #: until the next membership kick (prevents a retry spin).
         self._deferred: Set[str] = set()
+        #: shard keys whose trim found a replica with attached readers;
+        #: reader_detached() kicks the worker when the last one leaves.
+        self._trim_waiting: Set[str] = set()
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -222,13 +228,75 @@ class RepairManager:
         cluster._refresh_health()
 
     def _trim_shard(self, placement, shard) -> None:
-        """Drop the lowest-ranked surplus live replicas (post-restore)."""
+        """Drop the lowest-ranked surplus live replicas (post-restore).
+
+        A replica an in-flight ClusterStream is positioned on is never
+        freed under it (that would turn a routine trim into a data-path
+        error).  Busy replicas defer: the shard parks in ``_deferred``
+        (so the worker loop does not spin on it) and in
+        ``_trim_waiting``; the stream's detach hook kicks us when the
+        last reader leaves.
+        """
         live = self.cluster.live_replicas(shard)
+        deferred = False
         for name in hashing.rank(shard.key, live)[placement.replication:]:
+            if shard.readers.get(name, 0) > 0:
+                deferred = True
+                continue
             extent = shard.replicas.pop(name)
             self.cluster._nodes[name].device.free(extent)
             self._m_trimmed.inc()
+        if deferred:
+            self._deferred.add(shard.key)
+            self._trim_waiting.add(shard.key)
+            self._m_trim_deferred.inc()
         self.cluster._refresh_health()
+
+    def reader_detached(self, shard) -> None:
+        """A ClusterStream left a replica; finish any trim waiting on it."""
+        if shard.key in self._trim_waiting:
+            self._trim_waiting.discard(shard.key)
+            self.kick()
+
+    # -- flash-crowd replication boost ---------------------------------------
+    def boost(self, placement, extra: int = 1) -> int:
+        """Temporarily raise a hot placement's replication factor.
+
+        The raise is bounded by live membership; the repair worker then
+        treats every shard as under-replicated and fills the gap with
+        the usual capped BACKGROUND copies.  Callers *must* pair this
+        with :meth:`unboost` once the crowd passes — the watch layer's
+        teardown probe holds ``replication`` to ``declared_replication``.
+        """
+        target = min(placement.declared_replication + extra,
+                     len(self.cluster.live_nodes))
+        if target <= placement.replication:
+            return placement.replication
+        placement.replication = target
+        self._m_boosts.inc()
+        decisions = self.cluster._decisions
+        if decisions.enabled:
+            decisions.emit("replica-boost", placement.key, actor="repair",
+                           replication=target,
+                           declared=placement.declared_replication)
+        self.cluster._refresh_health()
+        self.kick()
+        return target
+
+    def unboost(self, placement) -> int:
+        """Restore a boosted placement to its declared replication."""
+        declared = placement.declared_replication
+        if placement.replication == declared:
+            return declared
+        placement.replication = declared
+        self._m_unboosts.inc()
+        decisions = self.cluster._decisions
+        if decisions.enabled:
+            decisions.emit("replica-unboost", placement.key, actor="repair",
+                           replication=declared)
+        self.cluster._refresh_health()
+        self.kick()
+        return declared
 
     # -- rebalance after join ------------------------------------------------
     def rebalance(self) -> Generator:
@@ -254,6 +322,14 @@ class RepairManager:
                     moved += 1
                 for name in cluster.live_replicas(shard):
                     if name not in desired:
+                        if shard.readers.get(name, 0) > 0:
+                            # Same rule as _trim_shard: never free a
+                            # replica under an attached reader; the
+                            # detach hook re-kicks the trim.
+                            self._deferred.add(shard.key)
+                            self._trim_waiting.add(shard.key)
+                            self._m_trim_deferred.inc()
+                            continue
                         extent = shard.replicas.pop(name)
                         cluster._nodes[name].device.free(extent)
                         self._m_trimmed.inc()

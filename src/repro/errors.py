@@ -135,6 +135,10 @@ class OutOfSpaceError(StorageError):
     """Device has no free extent large enough for an allocation."""
 
 
+class CacheError(StorageError):
+    """Misuse of the cache tier (:mod:`repro.cache`)."""
+
+
 class DatabaseError(AVDBError):
     """Error in the object database substrate."""
 

@@ -189,6 +189,19 @@ def cluster() -> Dict[str, object]:
     return node_kill(seed=0)
 
 
+def cache() -> Dict[str, object]:
+    """The Zipf flash-crowd cache scenario under tracing.
+
+    The trace shows edge-cache hits short-circuiting the origin read
+    path, BACKGROUND prefill streams racing the crowd, the
+    ``cache-hot``/``replica-boost`` reaction, and the fleet-wide
+    ``cache.*`` hit/miss/eviction counters in the summary.
+    """
+    from repro.cache.scenarios import zipf_crowd
+
+    return zipf_crowd(seed=0, cached=True, sessions=400)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "quickstart": quickstart,
     "newscast": newscast,
@@ -196,4 +209,5 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "faults": faults,
     "overload": overload,
     "cluster": cluster,
+    "cache": cache,
 }

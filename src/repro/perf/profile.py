@@ -3,7 +3,8 @@
 A scenario name is resolved across the CLI registries in order — trace
 scenarios (:mod:`repro.obs.scenarios`), fault scenarios
 (:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`),
-cluster scenarios (:mod:`repro.cluster`), watch scenarios
+cluster scenarios (:mod:`repro.cluster`), cache scenarios
+(:mod:`repro.cache`), watch scenarios
 (:mod:`repro.watch`) — so every scenario the CLI
 can run can also be profiled.  Runs execute
 under the default observability configuration (metrics on, tracing
@@ -24,6 +25,7 @@ SORT_KEYS = ("cumulative", "tottime", "ncalls")
 def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     """(kind, registry, thunk-maker) triples, in resolution order."""
     from repro.admission import SCENARIOS as OVERLOAD_SCENARIOS
+    from repro.cache import SCENARIOS as CACHE_SCENARIOS
     from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
     from repro.faults import SCENARIOS as FAULT_SCENARIOS
     from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
@@ -36,6 +38,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
         ("overload", OVERLOAD_SCENARIOS,
          lambda fn: lambda: fn(seed=0, admission=True)),
         ("cluster", CLUSTER_SCENARIOS,
+         lambda fn: lambda: fn(seed=0)),
+        ("cache", CACHE_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
         ("watch", WATCH_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),

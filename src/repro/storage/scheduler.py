@@ -128,6 +128,10 @@ class DiskScheduler:
         self.requests_served = 0
         self.requests_failed = 0
         self.deadline_misses = 0
+        #: 1 while a picked request is being seeked/transferred.  Load
+        #: scorers add this to ``queue_depth``: a disk one second into a
+        #: long transfer is busy even though nothing is *queued*.
+        self.in_service = 0
         metrics = simulator.obs.metrics
         self._m_requests = metrics.counter("storage.disk_requests")
         self._m_seeks = metrics.counter("storage.seek_cylinders")
@@ -268,6 +272,7 @@ class DiskScheduler:
                 ))
                 return
             request = self._pick()
+            self.in_service = 1
             distance = abs(request.position - self.head_position)
             self.total_seek_distance += distance
             self._m_seeks.inc(distance)
@@ -289,6 +294,7 @@ class DiskScheduler:
                 self._m_misses.inc()
             if span is not None:
                 span.end(seek_cylinders=distance)
+            self.in_service = 0
             request.done.trigger(request)
 
     def mean_wait(self, requests: List[DiskRequest]) -> float:

@@ -18,7 +18,12 @@ conservation law from its internal state:
   sum of per-channel traffic (only checked when *every* channel in the
   scope is armed, otherwise unarmed traffic would look like a leak);
 * **replication** — every placed shard keeps at least one live replica
-  mid-run, and teardown ends with no under-replicated shards;
+  mid-run, teardown ends with no under-replicated shards, and every
+  placement's replication factor is back at its *declared* R (a
+  flash-crowd boost that leaks past the crowd is a breach);
+* **cache coherence** — armed over a cache tier, no resident block in
+  any cache (edge or per-node) carries a version tag other than its
+  placement's current authoritative version;
 * **process accounting** — the kernel's live-process count stays sane
   mid-run and drains to zero at teardown.
 
@@ -78,6 +83,7 @@ class InvariantMonitor:
         self._allocators: List = []
         self._controllers: List = []
         self._cluster = None
+        self._tier = None
         #: True when the armed channel set covers every channel whose
         #: traffic lands in ``net.bits_sent`` — the precondition for the
         #: bit-conservation probe (partial coverage cannot distinguish a
@@ -89,12 +95,15 @@ class InvariantMonitor:
 
     # -- arming ------------------------------------------------------------
     def arm(self, channels=(), allocators=(), controllers=(), cluster=None,
-            channels_complete: bool = False) -> "InvariantMonitor":
+            tier=None, channels_complete: bool = False) -> "InvariantMonitor":
         """Register components to watch; may be called repeatedly.
 
         Pass ``channels_complete=True`` only when the armed channels are
         *all* the channels in the scenario's metrics scope — that enables
-        the global bit-conservation probe.
+        the global bit-conservation probe.  Arming a cache ``tier`` also
+        arms each edge's NIC and admission controller, and enables the
+        cache-coherence probe over every cache the tier owns (the tier's
+        cluster must be armed too, for the authoritative versions).
         """
         self._channels.extend(channels)
         self._allocators.extend(allocators)
@@ -105,6 +114,11 @@ class InvariantMonitor:
                 self._channels.append(node.nic)
                 self._controllers.append(node.admission)
                 self._allocators.append(node.device.allocator)
+        if tier is not None:
+            self._tier = tier
+            for edge in tier.edges:
+                self._channels.append(edge.nic)
+                self._controllers.append(edge.admission)
         if channels_complete:
             self._channels_complete = True
         return self
@@ -243,6 +257,47 @@ class InvariantMonitor:
                 "replication", "cluster",
                 f"{len(under)} shard(s) still under-replicated at "
                 f"teardown", self._now(), {"shards": sorted(under)}))
+        # A flash-crowd boost must not survive the crowd: teardown holds
+        # every placement to the R its client declared at place() time.
+        inflated = [placement.key for placement in cluster.placements
+                    if placement.replication != placement.declared_replication]
+        if inflated:
+            out.append(Breach(
+                "replication", "cluster",
+                f"{len(inflated)} placement(s) end with replication above "
+                f"declared R (leaked boost)", self._now(),
+                {"placements": sorted(inflated)}))
+        over = [shard.key
+                for placement in cluster.placements
+                for shard in placement.shards
+                if survivors(shard) > placement.replication]
+        if over:
+            out.append(Breach(
+                "replication", "cluster",
+                f"{len(over)} shard(s) still over-replicated at teardown "
+                f"(leaked extents)", self._now(), {"shards": sorted(over)}))
+
+    def _probe_cache_coherence(self, out: List[Breach]) -> None:
+        if self._tier is None or self._cluster is None:
+            return
+        stale: Dict[str, List[str]] = {}
+        for placement in self._cluster.placements:
+            version = placement.version
+            keys = {placement.key} | {s.key for s in placement.shards}
+            for cache in self._tier.all_caches:
+                for key in sorted(keys):
+                    tags = [tag for tag in cache.versions_of(key)
+                            if tag != version]
+                    if tags:
+                        stale.setdefault(cache.name, []).append(
+                            f"{key}@{tags}")
+        if stale:
+            out.append(Breach(
+                "cache-coherence", "cache",
+                f"{sum(len(v) for v in stale.values())} cached span(s) "
+                f"diverge from the authoritative placement version",
+                self._now(), {"stale": {k: sorted(v)
+                                        for k, v in sorted(stale.items())}}))
 
     def _probe_processes(self, out: List[Breach],
                          teardown: bool = False) -> None:
@@ -274,6 +329,7 @@ class InvariantMonitor:
         self._probe_extents(found)
         self._probe_bits(found)
         self._probe_replication(found)
+        self._probe_cache_coherence(found)
         self._probe_processes(found)
         self._probe_extra(found)
         self.checks += 1
@@ -288,6 +344,7 @@ class InvariantMonitor:
         self._probe_extents(found)
         self._probe_bits(found)
         self._probe_replication(found, teardown=True)
+        self._probe_cache_coherence(found)
         self._probe_processes(found, teardown=True)
         self._probe_extra(found)
         self.checks += 1

@@ -76,6 +76,24 @@ def component_state(obj) -> Dict[str, object]:
             "free_ranges": len(obj._free),
             "allocated_extents": len(obj._allocated),
         })
+    # Cache tiers
+    elif hasattr(obj, "all_caches") and hasattr(obj, "edges"):
+        state.update({
+            "policy": obj.policy_name,
+            "edges": [
+                {"name": e.name, "live": e.live,
+                 "resident_blocks": e.cache.resident_blocks,
+                 "bits_served": e.bits_served,
+                 "bits_filled": e.bits_filled}
+                for e in obj.edges
+            ],
+            "node_caches": [
+                {"name": c.name, "resident_blocks": c.resident_blocks,
+                 "bytes_used": c.bytes_used}
+                for c in obj.node_caches
+            ],
+            "hot_keys": sorted(obj.detector.hot_keys),
+        })
     # Cluster placement managers
     elif hasattr(obj, "live_nodes") and hasattr(obj, "placements"):
         state.update({

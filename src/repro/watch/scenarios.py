@@ -16,6 +16,11 @@ virtual time, and returns a flat dict of headline facts.
 * ``slo-burn`` — a priority-mix overload evaluated against the SLO
   catalog on a virtual-time cadence; the facts report worst error-budget
   burn per SLO class.
+* ``cache-crowd`` — a Zipf flash crowd served through the cache tier
+  under full supervision: the cache-coherence invariant and the
+  boost-restore law (replication back at declared R by teardown) are
+  proven by the monitor, and the fleet-wide hit-ratio SLO is evaluated
+  on the cadence.
 """
 
 from __future__ import annotations
@@ -282,10 +287,131 @@ def slo_burn(seed: int = 0,
     }
 
 
+def cache_crowd(seed: int = 0,
+                bundle_dir: Optional[str] = None) -> Dict[str, object]:
+    """A supervised Zipf flash crowd through the cache tier.
+
+    A scaled-down ``cache zipf-crowd`` (600 sessions) with the watchdog
+    armed over the cluster *and* the tier: every edge NIC/controller
+    joins the reservation/consistency probes, the cache-coherence probe
+    re-derives version agreement on each 50 ms tick, and teardown
+    additionally proves the flash-crowd boost was fully unwound —
+    replication back at declared R, no over-replicated shards.  The
+    hit-ratio SLO (floor 0.8, as a miss-ratio ceiling) is part of the
+    evaluated catalog.
+    """
+    from repro.cache.scenarios import ELEMENT_BITS, PERIOD_S
+    from repro.cache.tier import CacheTier
+    from repro.cluster.scenarios import Blob, _build_cluster
+    from repro.errors import CacheError, ClusterError, FaultError
+
+    sessions = 600
+    elements = 8
+    values_count = 12
+    viral_share = 0.6
+    arrival_window_s = 1.2
+    stream_bps = ELEMENT_BITS / PERIOD_S
+
+    sim = Simulator()
+    cluster = _build_cluster(sim, 4, replication=2)
+    rng = random.Random(seed)
+    values = [Blob(elements * ELEMENT_BITS // 8, stream_bps)
+              for _ in range(values_count)]
+    for value in values:
+        cluster.place(value)
+    cluster.repair.start()
+    tier = CacheTier(sim, cluster, edges=2,
+                     edge_bandwidth_bps=320_000_000.0,
+                     hot_window_s=0.5, hot_threshold=40)
+
+    weights = [1.0 / rank for rank in range(1, values_count)]
+    plans = []
+    for _ in range(sessions):
+        arrival = rng.uniform(0.0, arrival_window_s)
+        if rng.random() < viral_share:
+            asset = 0
+        else:
+            asset = rng.choices(range(1, values_count), weights=weights)[0]
+        plans.append((arrival, asset))
+    completed = [0]
+    failed = [0]
+
+    def session(idx: int):
+        arrival, asset = plans[idx]
+        yield Delay(arrival)
+        stream = tier.open_read(values[asset], stream_bps,
+                                label=f"crowd-{idx}",
+                                priority=Priority.STANDARD,
+                                queue_timeout_s=1.0)
+        with stream:
+            try:
+                for _ in range(elements):
+                    yield from stream.read(ELEMENT_BITS)
+            except (AdmissionError, FaultError, ClusterError, CacheError):
+                failed[0] += 1
+                return
+        completed[0] += 1
+
+    # Startup budget is crowd-sized: a viewer may buffer behind the
+    # admission queue for most of its 1 s timeout before its first
+    # element, and that is buffering, not a glitch.
+    dog = Watchdog(sim, slos=default_slos(startup_p95_s=0.75,
+                                          nodes_floor=1.0,
+                                          cache_hit_floor=0.8),
+                   bundle_dir=bundle_dir)
+    dog.arm(cluster=cluster, tier=tier, channels_complete=True)
+    dog.start(cadence_s=0.05, horizon_s=4.0)
+    for idx in range(sessions):
+        sim.spawn(session(idx), name=f"crowd-{idx}")
+    end = sim.run()
+    tier.shutdown()
+    cluster.shutdown()
+    sim.run()
+    report = dog.teardown()
+    metrics = sim.obs.metrics
+    metrics.flush()
+
+    def count(name: str) -> int:
+        instrument = metrics.get(name)
+        return int(getattr(instrument, "value", 0) or 0)
+
+    lookups = count("cache.lookups")
+    decisions = sim.obs.decisions
+    # First occurrence of each lifecycle kind, in emission order — a
+    # healthy run reads hot -> boost -> cool -> unboost.
+    hot_chain: List[str] = []
+    for event in decisions.events:
+        if event.kind in ("cache-hot", "replica-boost",
+                          "cache-cool", "replica-unboost") \
+                and event.kind not in hot_chain:
+            hot_chain.append(event.kind)
+    return {
+        "sessions": sessions,
+        "completed": completed[0],
+        "failed": failed[0],
+        "hit_ratio": (round(count("cache.hits") / lookups, 3)
+                      if lookups else 0.0),
+        "hot_episodes": count("cache.hot_episodes"),
+        "replica_boosts": count("cluster.replica_boosts"),
+        "replica_unboosts": count("cluster.replica_unboosts"),
+        "boost_chain": "->".join(hot_chain[:4]),
+        "boosted_at_teardown": sum(
+            1 for p in cluster.placements
+            if p.replication != p.declared_replication),
+        "invariant_checks": dog.monitor.checks,
+        "invariant_breaches": len(dog.monitor.breaches),
+        "burn_by_class": report["burn_by_class"],
+        "slos_violated": ",".join(report["violated"]) or "none",
+        "virtual_seconds": round(end.seconds, 3),
+        "stranded_processes": sim.live_processes,
+    }
+
+
 SCENARIOS: Dict[str, object] = {
     "leak": leak,
     "node-kill": node_kill,
     "slo-burn": slo_burn,
+    "cache-crowd": cache_crowd,
 }
 
 

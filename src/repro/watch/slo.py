@@ -189,14 +189,19 @@ def default_slos(startup_p95_s: float = 0.25,
                  deadline_miss_budget: float = 0.05,
                  jitter_p99_ms: float = 50.0,
                  late_budget: float = 0.10,
-                 nodes_floor: Optional[float] = None) -> Tuple[SLOSpec, ...]:
+                 nodes_floor: Optional[float] = None,
+                 cache_hit_floor: Optional[float] = None) -> Tuple[SLOSpec, ...]:
     """The stock SLO catalog over the repo-wide metric names.
 
     Session startup latency rides ``admission.queue_wait_s`` (the time a
     contract spends queued before its grant), the deadline-miss budget
     rides the disk scheduler's counters, interactive QoS rides the sink
     activities' late-presentation accounting, and the optional
-    replication floor rides ``cluster.nodes_live``.
+    replication floor rides ``cluster.nodes_live``.  A cache-armed
+    scenario passes ``cache_hit_floor`` (e.g. 0.9): the objective is
+    expressed as a miss-*ratio* ceiling of ``1 - floor`` over the
+    fleet-wide ``cache.misses`` / ``cache.lookups`` counters, so the
+    stock ratio burn normalization applies unchanged.
     """
     specs = [
         SLOSpec("session-startup-latency", "histogram-quantile",
@@ -221,4 +226,14 @@ def default_slos(startup_p95_s: float = 0.25,
                              "cluster.nodes_live", nodes_floor,
                              klass="capacity", hard=True,
                              description="live storage nodes under the floor"))
+    if cache_hit_floor is not None:
+        if not 0.0 < cache_hit_floor < 1.0:
+            raise WatchError(
+                f"cache hit floor must be in (0, 1), got {cache_hit_floor}"
+            )
+        specs.append(SLOSpec("cache-hit-ratio", "ratio",
+                             "cache.misses", round(1.0 - cache_hit_floor, 9),
+                             denominator="cache.lookups", klass="capacity",
+                             description="fleet-wide cache miss ratio "
+                                         "(1 - hit floor)"))
     return tuple(specs)

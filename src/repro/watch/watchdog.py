@@ -60,14 +60,16 @@ class Watchdog:
 
     # -- setup -------------------------------------------------------------
     def arm(self, channels=(), allocators=(), controllers=(), cluster=None,
-            channels_complete: bool = False) -> "Watchdog":
+            tier=None, channels_complete: bool = False) -> "Watchdog":
         """Arm invariant probes and flight-recorder state dumps."""
         self.monitor.arm(channels=channels, allocators=allocators,
                          controllers=controllers, cluster=cluster,
-                         channels_complete=channels_complete)
+                         tier=tier, channels_complete=channels_complete)
         self.recorder.track(*channels, *controllers, *allocators)
         if cluster is not None:
             self.recorder.track(cluster)
+        if tier is not None:
+            self.recorder.track(tier)
         return self
 
     def add_slo(self, spec: SLOSpec) -> SLOSpec:

@@ -116,6 +116,81 @@ class TestClusterReads:
         assert stream.serving_node == "node-1"
         stream.close()
 
+    def test_routing_sees_live_disk_queue_not_flushed_metrics(self, sim):
+        """Regression: replica scoring must read live queue depths.
+
+        The old scorer ranked replicas by flush-batched channel metrics,
+        which lag the first flush interval of a flash crowd — every
+        arrival piled onto the same "idle-looking" node.  Jamming a disk
+        queue directly (no metrics flush ever happens here) must be
+        enough to steer the very next read away.
+        """
+        cluster = make_cluster(sim, 2, replication=2)
+        value = Blob(300_000, 6_000_000.0)
+        cluster.place(value, key="v")
+        jammed = cluster.node("node-0")
+        jammed.scheduler.submit(0, 48_000_000)  # ~1 s of queued service
+        assert jammed.load_key > cluster.node("node-1").load_key
+        stream = cluster.open_read(value, 6_000_000.0, label="probe")
+
+        def client():
+            yield from stream.read(240_000)
+
+        sim.run_until_complete(sim.spawn(client(), name="client"))
+        assert stream.serving_node == "node-1"
+        stream.close()
+
+    def test_trim_defers_until_reader_detaches(self, sim):
+        """Regression: a trim never frees a replica under a live reader.
+
+        Boost copies a second replica, the reader re-routes onto it,
+        and the unboost-triggered trim must park until the reader
+        closes — then reclaim exactly that replica, with the deferral
+        and the trim both on the ledger and zero failovers.
+        """
+        cluster = make_cluster(sim, 3, replication=1)
+        cluster.repair.start()
+        value = Blob(240_000, 6_000_000.0)
+        placement = cluster.place(value, key="v")
+        shard = placement.shards[0]
+        (origin,) = shard.replicas
+        cluster.repair.boost(placement)
+        sim.run()  # boost copy completes; two live replicas now
+        boosted = [n for n in shard.replicas if n != origin]
+        assert boosted, "boost must have added a replica"
+        # Jam the origin so routing attaches the reader to the copy.
+        cluster.node(origin).scheduler.submit(0, 48_000_000)
+        stream = cluster.open_read(value, 6_000_000.0, label="viewer")
+        states = {}
+
+        def client():
+            yield from stream.read(240_000)
+            states["serving"] = stream.serving_node
+            yield Delay(0.2)  # hold the replica across the unboost
+            yield from stream.read(240_000)
+            states["replicas_while_open"] = sorted(shard.replicas)
+            stream.close()
+
+        def control():
+            yield Delay(0.05)
+            cluster.repair.unboost(placement)
+
+        sim.spawn(client(), name="client")
+        sim.spawn(control(), name="control")
+        sim.run()
+        metrics = sim.obs.metrics
+        assert states["serving"] == boosted[0]
+        # The trim ran while the reader was attached — and deferred.
+        assert metrics.counter("cluster.trim_deferred").value == 1
+        assert states["replicas_while_open"] == sorted([origin, boosted[0]])
+        # The reader was never yanked off its replica...
+        assert stream.failovers == 0 and cluster.failovers == 0
+        assert stream.bits_read == 480_000
+        # ...and the close released the trim: surplus reclaimed.
+        assert sorted(shard.replicas) == [origin]
+        assert metrics.counter("cluster.trimmed").value == 1
+        assert cluster.over_replicated() == []
+
     def test_failover_mid_stream(self, sim):
         cluster = make_cluster(sim, 3, replication=2)
         value = Blob(600_000, 6_000_000.0)
