@@ -36,6 +36,12 @@ under the ``repro.watch`` layer (SLO engine + invariant monitor +
 flight recorder) and prints error-budget burn, breach facts and a
 deterministic summary line; ``--bundle-dir`` writes postmortem bundles.
 
+``python -m repro soak day`` runs the composed broadcast-day soak
+scenario (live newscast + VOD Zipf crowd + editing batches + overnight
+maintenance) under seeded chaos with the full watch stack supervising;
+``python -m repro soak search`` sweeps chaos seeds for a failure and
+delta-debugs the fault schedule to a minimal, replayable core.
+
 ``python -m repro explain <scenario> --session <id>`` reruns a scenario
 with the decision log armed and reconstructs the causal decision chain
 for one session (admitted -> degraded -> preempted -> failed over ...);
@@ -293,6 +299,59 @@ def watch(scenario_name: str, seed: int, bundle_dir: Path | None) -> int:
     return 0
 
 
+def soak(args) -> int:
+    """Run the broadcast-day soak, or the chaos search over it."""
+    from repro.obs import scoped
+    from repro.soak import chaos_search, day, default_day, summary_line
+    from repro.soak.search import _failing
+
+    specs = None
+    if args.phases:
+        by_name = {spec.name: spec for spec in default_day()}
+        wanted = [n.strip() for n in args.phases.split(",") if n.strip()]
+        unknown = [n for n in wanted if n not in by_name]
+        if unknown:
+            print(f"unknown phase(s) {', '.join(unknown)}; "
+                  f"pick from: {', '.join(by_name)}", file=sys.stderr)
+            return 2
+        specs = tuple(by_name[n] for n in wanted)
+
+    if args.action == "day":
+        # A fresh observability scope per run keeps soak.* counters
+        # from bleeding between runs in one process.
+        with scoped(tracing=False):
+            facts = day(seed=args.seed, phases=specs, scale=args.scale,
+                        chaos=not args.no_chaos, chaos_seed=args.chaos_seed,
+                        profile=args.profile, plant_leak=args.plant_leak,
+                        bundle_dir=str(args.bundle_dir)
+                        if args.bundle_dir else None)
+        print(f"soak day (seed {args.seed}, "
+              f"{'no chaos' if args.no_chaos else args.profile}):")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+        print(summary_line("day", facts))
+        # Non-zero exit on the failure signature so CI can gate on the
+        # clean-day acceptance criterion directly.
+        return 1 if _failing(facts) else 0
+
+    seeds = ([args.chaos_seed] if args.chaos_seed is not None
+             else range(args.chaos_seeds))
+    report = chaos_search(chaos_seeds=seeds, seed=args.seed, phases=specs,
+                          scale=args.scale, profile=args.profile,
+                          plant_leak=args.plant_leak,
+                          out_dir=str(args.out) if args.out else None)
+    print(f"soak search (workload seed {args.seed}, profile {args.profile}, "
+          f"{report['seeds_tried']} chaos seed(s) tried):")
+    for key, value in report.items():
+        print(f"  {key} = {value}")
+    if report["failing_seed"] == "none":
+        print("no failing chaos seed found")
+        return 0
+    # A failure that the minimized schedule does not reproduce means
+    # the reduction went wrong — surface that as a non-zero exit.
+    return 0 if report["replay_failing"] else 1
+
+
 def explain(scenario_name: str, session: str | None, seed: int) -> int:
     """Rerun a scenario and reconstruct one session's decision chain.
 
@@ -431,6 +490,41 @@ def main(argv=None) -> int:
                               help="scenario seed (default: 0)")
     watch_parser.add_argument("--bundle-dir", type=Path, default=None,
                               help="write postmortem bundles here")
+    soak_parser = sub.add_parser(
+        "soak", help="run the broadcast-day soak or the chaos search"
+    )
+    soak_parser.add_argument("action", nargs="?", default="day",
+                             choices=("day", "search"),
+                             help="'day' runs one soak; 'search' sweeps "
+                                  "chaos seeds and minimizes the first "
+                                  "failure (default: day)")
+    soak_parser.add_argument("--seed", type=int, default=0,
+                             help="workload seed (default: 0)")
+    soak_parser.add_argument("--scale", type=float, default=1.0,
+                             help="scale session/job counts by this factor "
+                                  "(default: 1.0)")
+    soak_parser.add_argument("--phases", default=None,
+                             help="comma-separated phase names to run "
+                                  "(default: the full broadcast day)")
+    soak_parser.add_argument("--profile", default="gentle",
+                             choices=("gentle", "aggressive"),
+                             help="chaos profile (default: gentle)")
+    soak_parser.add_argument("--no-chaos", action="store_true",
+                             help="run the fault-free baseline day")
+    soak_parser.add_argument("--chaos-seed", type=int, default=None,
+                             help="pin one chaos seed (day: defaults to the "
+                                  "workload seed; search: sweep just this)")
+    soak_parser.add_argument("--chaos-seeds", type=int, default=32,
+                             help="search: sweep chaos seeds 0..N-1 "
+                                  "(default: 32)")
+    soak_parser.add_argument("--plant-leak", action="store_true",
+                             help="arm the planted leak latent bug "
+                                  "(for exercising the search)")
+    soak_parser.add_argument("--bundle-dir", type=Path, default=None,
+                             help="day: write postmortem bundles here")
+    soak_parser.add_argument("--out", type=Path, default=None,
+                             help="search: write minimized plan, report "
+                                  "and replay bundles here")
     explain_parser = sub.add_parser(
         "explain", help="reconstruct a session's causal decision chain"
     )
@@ -467,6 +561,8 @@ def main(argv=None) -> int:
                      args.policy)
     if args.command == "watch":
         return watch(args.scenario, args.seed, args.bundle_dir)
+    if args.command == "soak":
+        return soak(args)
     if args.command == "explain":
         return explain(args.scenario, args.session, args.seed)
     if args.command == "faults":

@@ -9,8 +9,8 @@ through the cluster (at the *caller's* priority — the user is waiting)
 and demand-fills the edge on the way out.
 
 Edges are killable: they expose the ``name``/``live``/``kill``/
-``restore`` surface the fault injector's ``node-outage`` arm expects,
-and a kill drops the cache contents (it models RAM).  Readers degrade
+``restore`` surface the fault injector's ``edge-cache-outage`` arm
+expects, and a kill drops the cache contents (it models RAM).  Readers degrade
 to **pass-through** — the wrapped :class:`ClusterStream` keeps serving
 straight from the storage nodes — and re-attach to a surviving edge on
 the next read, so an edge outage costs hit ratio, never availability.

@@ -256,8 +256,9 @@ def churn(seed: int = 0, nodes: int = 4, edges: int = 2,
         yield Delay(0.45)
         cluster.bump_version(value_a)
 
-    plan = FaultPlan(seed=seed).node_outage("edge-0", at=0.55, duration=0.4)
-    injector = FaultInjector(sim, plan).arm(nodes=tier.edges)
+    plan = FaultPlan(seed=seed).edge_cache_outage("edge-0", at=0.55,
+                                                  duration=0.4)
+    injector = FaultInjector(sim, plan).arm(edges=tier.edges)
     for wave in range(waves):
         for idx in range(readers_per_wave):
             sim.spawn(reader(wave, idx), name=f"churn-{wave}-{idx}")

@@ -120,14 +120,16 @@ class FaultInjector:
             schedulers: Mapping[str, object] = (),
             channels: Union[Mapping[str, object], Iterable[object]] = (),
             processes: Mapping[str, Process] = (),
-            nodes: Union[Mapping[str, object], Iterable[object]] = ()) -> "FaultInjector":
+            nodes: Union[Mapping[str, object], Iterable[object]] = (),
+            edges: Union[Mapping[str, object], Iterable[object]] = ()) -> "FaultInjector":
         """Attach the plan's faults to the given named components.
 
-        ``devices``, ``channels`` and ``nodes`` accept either mappings or
-        iterables of objects carrying ``.name``; ``schedulers`` and
-        ``processes`` are mappings (schedulers have no name of their
-        own).  Unmatched plan targets raise — a silently unarmed fault
-        would make a "survived the fault plan" claim meaningless.
+        ``devices``, ``channels``, ``nodes`` and ``edges`` accept either
+        mappings or iterables of objects carrying ``.name``;
+        ``schedulers`` and ``processes`` are mappings (schedulers have
+        no name of their own).  Unmatched plan targets raise — a
+        silently unarmed fault would make a "survived the fault plan"
+        claim meaningless.
         """
         if self._armed:
             raise SimulationError("fault plan already armed")
@@ -137,9 +139,15 @@ class FaultInjector:
         scheduler_map = dict(schedulers)
         process_map = dict(processes)
         node_map = _by_name(nodes)
+        edge_map = _by_name(edges)
         for fault in self.plan:
             if fault.kind == "node-outage":
                 self._arm_node(fault, _lookup(node_map, fault, "node"))
+            elif fault.kind == "edge-cache-outage":
+                # Same kill/restore surface as a storage node, but its
+                # own namespace: a plan cannot quietly hit an edge when
+                # it named a node (or vice versa).
+                self._arm_node(fault, _lookup(edge_map, fault, "edge"))
             elif fault.kind.startswith("device-"):
                 self._arm_device(fault, _lookup(device_map, fault, "device"))
             elif fault.kind.startswith("scheduler-"):

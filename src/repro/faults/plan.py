@@ -36,13 +36,18 @@ Fault kinds
     ``StorageNode.kill()`` fires at ``at`` (the node's scheduler stops,
     failing queued requests; its replicas go dead) and, when
     ``duration`` > 0, ``restore()`` fires at ``at + duration``.
+``edge-cache-outage``
+    ``EdgeCacheNode.kill()`` fires at ``at`` (the edge's RAM cache dies
+    with it; readers degrade to pass-through or re-attach to a surviving
+    edge) and, when ``duration`` > 0, ``restore()`` brings the edge back
+    cold at ``at + duration``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import SimulationError
 
@@ -52,7 +57,14 @@ KINDS = (
     "channel-loss",
     "process-crash", "process-hang",
     "node-outage",
+    "edge-cache-outage",
 )
+
+#: kinds whose [at, at+duration) window takes a target *down*; two such
+#: windows on the same target cannot disagree about when it comes back.
+OUTAGE_KINDS = frozenset((
+    "device-outage", "scheduler-outage", "node-outage", "edge-cache-outage",
+))
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +152,11 @@ class FaultPlan:
         """Kill a storage node at ``at``; restore after ``duration`` (0 = never)."""
         return self.add(Fault("node-outage", target, at, duration))
 
+    def edge_cache_outage(self, target: str, at: float,
+                          duration: float = 0.0) -> "FaultPlan":
+        """Kill an edge cache at ``at``; restore after ``duration`` (0 = never)."""
+        return self.add(Fault("edge-cache-outage", target, at, duration))
+
     def process_crash(self, target: str, at: float) -> "FaultPlan":
         return self.add(Fault("process-crash", target, at))
 
@@ -186,6 +203,95 @@ class FaultPlan:
             plan.process_crash(name, rng.uniform(0.1, 0.9) * horizon_s)
         plan.sort()
         return plan
+
+    # -- composition -------------------------------------------------------
+    @classmethod
+    def merge(cls, *plans: "FaultPlan", seed: int | None = None) -> "FaultPlan":
+        """Combine plans into one deterministic, validated schedule.
+
+        The merged plan's faults are the concatenation of every input's,
+        sorted by ``(at, kind, target)``; exact duplicates collapse to
+        one entry (two plans agreeing on the same fault is agreement,
+        not contradiction).  ``seed`` defaults to the first plan's seed
+        — per-channel loss/jitter streams are keyed by ``(seed,
+        target)``, so merging never reshuffles an armed loss model.
+        The result is :meth:`validate`-d; contradictory inputs raise
+        :class:`~repro.errors.SimulationError` instead of producing a
+        schedule whose arm-time behaviour depends on heap tie-breaks.
+        """
+        if not plans:
+            raise SimulationError("FaultPlan.merge() needs at least one plan")
+        merged_seed = plans[0].seed if seed is None else seed
+        seen = set()
+        faults: List[Fault] = []
+        for plan in plans:
+            for fault in plan.faults:
+                if fault not in seen:
+                    seen.add(fault)
+                    faults.append(fault)
+        return cls(seed=merged_seed, faults=faults).sort().validate()
+
+    def validate(self) -> "FaultPlan":
+        """Reject contradictory schedules; return self when coherent.
+
+        Two outage windows on the same target must not overlap unless
+        they are the *same* window: interleaved kill/restore pairs with
+        conflicting restore times would leave the component's end state
+        dependent on event-queue tie-breaks (e.g. outage A restores at
+        t=2 while overlapping outage B says the target is down until
+        t=3).  A ``duration`` of 0 means "never restored", which
+        conflicts with any later outage of the same target.  A channel
+        may carry at most one loss model (the injector enforces this at
+        arm time; validating the plan surfaces it before a run is
+        half-built).
+        """
+        windows: Dict[tuple, List[Fault]] = {}
+        for fault in self.faults:
+            if fault.kind in OUTAGE_KINDS:
+                windows.setdefault((fault.kind, fault.target), []).append(fault)
+        for (kind, target), group in sorted(windows.items()):
+            group.sort(key=lambda f: f.at)
+            for prev, cur in zip(group, group[1:]):
+                prev_end = float("inf") if prev.duration == 0 \
+                    else prev.at + prev.duration
+                if cur.at < prev_end and (cur.at, cur.duration) != \
+                        (prev.at, prev.duration):
+                    raise SimulationError(
+                        f"contradictory fault plan: overlapping {kind} "
+                        f"windows on {target!r} with conflicting restore "
+                        f"times ({prev.describe()} vs {cur.describe()})"
+                    )
+        loss_targets: Dict[str, Fault] = {}
+        for fault in self.faults:
+            if fault.kind != "channel-loss":
+                continue
+            prior = loss_targets.get(fault.target)
+            if prior is not None and prior != fault:
+                raise SimulationError(
+                    f"contradictory fault plan: channel {fault.target!r} "
+                    f"has two different loss models"
+                )
+            loss_targets[fault.target] = fault
+        return self
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain data, stable field order — the chaos-search artifact."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": f.kind, "target": f.target, "at": f.at,
+                 "duration": f.duration, "factor": f.factor,
+                 "rate": f.rate, "jitter_s": f.jitter_s, "mode": f.mode}
+                for f in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan emitted by :meth:`to_dict` (replay artifacts)."""
+        return cls(seed=int(doc["seed"]),
+                   faults=[Fault(**fields) for fields in doc["faults"]])
 
     # -- inspection --------------------------------------------------------
     def sort(self) -> "FaultPlan":

@@ -5,8 +5,8 @@ scenarios (:mod:`repro.obs.scenarios`), fault scenarios
 (:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`),
 cluster scenarios (:mod:`repro.cluster`), cache scenarios
 (:mod:`repro.cache`), watch scenarios
-(:mod:`repro.watch`) — so every scenario the CLI
-can run can also be profiled.  Runs execute
+(:mod:`repro.watch`), soak scenarios (:mod:`repro.soak`) — so every
+scenario the CLI can run can also be profiled.  Runs execute
 under the default observability configuration (metrics on, tracing
 off), which is the hot path the optimization work targets.
 """
@@ -29,6 +29,7 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
     from repro.faults import SCENARIOS as FAULT_SCENARIOS
     from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
+    from repro.soak import SCENARIOS as SOAK_SCENARIOS
     from repro.watch import SCENARIOS as WATCH_SCENARIOS
 
     return [
@@ -42,6 +43,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
         ("cache", CACHE_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
         ("watch", WATCH_SCENARIOS,
+         lambda fn: lambda: fn(seed=0)),
+        ("soak", SOAK_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
     ]
 

@@ -344,6 +344,12 @@ class Simulator:
         #: the first non-fault process error, recorded at finish time and
         #: re-raised by every subsequent ``run()``.
         self._first_failure: Optional[BaseException] = None
+        #: observers of the first failure — called exactly once, at the
+        #: moment ``_first_failure`` is recorded, while the dying
+        #: process's state is still inspectable.  Supervisors (the
+        #: watchdog) use this to leave postmortem evidence for crashes
+        #: that would otherwise only surface as a raise from ``run()``.
+        self._failure_hooks: List[Callable[[Process, BaseException], None]] = []
         self.obs = attach(obs)
         self.obs.tracer.bind_clock(lambda: self._now)
         self.obs.decisions.bind_clock(lambda: self._now)
@@ -380,6 +386,17 @@ class Simulator:
             proc._span = tracer.begin(name, "sim.process", track=name)
         self._schedule_resume(proc, None)
         return proc
+
+    def add_failure_hook(
+            self, hook: Callable[["Process", BaseException], None]) -> None:
+        """Observe the run's *first* non-fault process failure.
+
+        ``hook(process, error)`` fires once, synchronously, when the
+        failure is recorded — before ``run()`` re-raises it.  A hook
+        that itself raises is swallowed: supervision must never mask
+        the original failure.
+        """
+        self._failure_hooks.append(hook)
 
     def schedule_at(self, when: WorldTime, action: Callable[[], None]) -> None:
         """Run a plain callable at virtual time ``when``."""
@@ -675,6 +692,11 @@ class Simulator:
                 self._m_failures.inc()
                 if self._first_failure is None:
                     self._first_failure = error
+                    for hook in self._failure_hooks:
+                        try:
+                            hook(proc, error)
+                        except Exception:
+                            pass
         if proc._span is not None:
             proc._span.end() if error is None else proc._span.end(error=repr(error))
             proc._span = None

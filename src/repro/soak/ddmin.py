@@ -1,0 +1,100 @@
+"""Delta debugging (ddmin) over fault schedules.
+
+Zeller's classic ddmin: given a failing list of items and a predicate,
+find a **1-minimal** failing subset — removing any single remaining
+item makes the failure disappear.  Each probe here is a full
+deterministic re-run of the soak scenario under a candidate fault
+schedule, so the algorithm's probe economy matters and is reported:
+
+* per granularity pass the algorithm tests at most ``n`` subsets and
+  ``n`` complements — ``2n <= 2 * |items|`` probes;
+* results are cached by candidate (the schedule is a tuple of hashable
+  :class:`~repro.faults.plan.Fault` entries), so a repeated candidate
+  never re-runs the scenario.
+
+The item *order* inside candidates is preserved from the input, which
+keeps the minimized schedule sorted the way the plan was — and makes
+the returned subset byte-stable across runs (the determinism test
+asserts exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+Stats = Dict[str, int]
+
+
+def _chunks(items: Tuple, n: int) -> List[Tuple]:
+    """Split into ``n`` contiguous, non-empty, near-equal chunks."""
+    size, remainder = divmod(len(items), n)
+    out: List[Tuple] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < remainder else 0)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(items: Sequence, failing: Callable[[List], bool],
+          ) -> Tuple[List, Stats]:
+    """Minimize ``items`` to a 1-minimal subset where ``failing`` holds.
+
+    Returns ``(minimal_items, stats)`` with ``stats`` counting actual
+    re-runs (``probes``), cache hits, granularity passes, and the
+    largest per-pass probe count (``max_pass_probes`` — the acceptance
+    bound is ``< 2 * len(items)``).  Raises
+    :class:`~repro.errors.SimulationError` if the full set does not
+    fail: minimizing a passing schedule is a caller bug, not a result.
+    """
+    stats: Stats = {"probes": 0, "cache_hits": 0, "passes": 0,
+                    "max_pass_probes": 0}
+    cache: Dict[Tuple, bool] = {}
+    pass_probes = [0]
+
+    def test(candidate: Tuple) -> bool:
+        if candidate in cache:
+            stats["cache_hits"] += 1
+            return cache[candidate]
+        stats["probes"] += 1
+        pass_probes[0] += 1
+        verdict = bool(failing(list(candidate)))
+        cache[candidate] = verdict
+        return verdict
+
+    current = tuple(items)
+    if not current:
+        raise SimulationError("ddmin: cannot minimize an empty schedule")
+    if not test(current):
+        raise SimulationError(
+            "ddmin: the full schedule does not fail — nothing to minimize")
+
+    n = 2
+    while len(current) >= 2:
+        stats["passes"] += 1
+        pass_probes[0] = 0
+        chunks = _chunks(current, min(n, len(current)))
+        reduced = False
+        for chunk in chunks:
+            if test(chunk):
+                current, n, reduced = chunk, 2, True
+                break
+        if not reduced and len(chunks) > 2:
+            for i in range(len(chunks)):
+                complement = tuple(item for j, chunk in enumerate(chunks)
+                                   if j != i for item in chunk)
+                if test(complement):
+                    current, reduced = complement, True
+                    n = max(n - 1, 2)
+                    break
+        stats["max_pass_probes"] = max(stats["max_pass_probes"],
+                                       pass_probes[0])
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), 2 * n)
+    return list(current), stats

@@ -1,0 +1,205 @@
+"""Broadcast-day phases and the seeded workload timeline.
+
+A :class:`PhaseSpec` declares one slice of the day — how many VOD
+sessions arrive, how skewed their asset choice is, how many live
+newscast viewers tune in, how many editing batches and maintenance
+version bumps run — without saying *when* any individual event fires.
+:func:`build_timeline` turns a sequence of phases plus a seed into the
+concrete event list: every arrival time and asset choice is drawn up
+front from one ``random.Random(seed)``, so the timeline is pure data,
+sortable, hashable (:func:`timeline_sha256`) and — critically —
+**independent of the fault schedule**.  A chaos-search probe that
+swaps the fault plan replays the byte-identical workload.
+
+Tests and CI run bounded slices by passing fewer phases or a
+``scaled()`` copy; the full :func:`default_day` is ~10 virtual seconds
+of mixed load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: element pacing shared with the cache/cluster scenarios: 240 kb per
+#: element, one element per 40 ms — a 6 Mb/s stream.
+ELEMENT_BITS = 240_000
+PERIOD_S = 0.04
+
+#: elements per VOD session (paced; element 0 is unpaced startup).
+VOD_ELEMENTS = 6
+
+#: a live viewer never outlasts its phase; the news asset is sized to
+#: cover the longest phase with margin.
+MAX_LIVE_ELEMENTS = 72
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One declarative slice of the broadcast day."""
+
+    name: str
+    duration_s: float
+    vod_sessions: int = 0
+    interactive_share: float = 0.15
+    viral_share: float = 0.3
+    live_viewers: int = 0
+    edit_jobs: int = 0
+    maintenance_bumps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise SimulationError(
+                f"phase {self.name!r}: duration must be positive")
+        for field_name in ("vod_sessions", "live_viewers", "edit_jobs",
+                           "maintenance_bumps"):
+            if getattr(self, field_name) < 0:
+                raise SimulationError(
+                    f"phase {self.name!r}: {field_name} must be >= 0")
+        for field_name in ("interactive_share", "viral_share"):
+            share = getattr(self, field_name)
+            if not 0.0 <= share <= 1.0:
+                raise SimulationError(
+                    f"phase {self.name!r}: {field_name} must be in [0, 1]")
+
+    def scaled(self, factor: float) -> "PhaseSpec":
+        """A copy with session/job counts scaled (durations unchanged).
+
+        Scaling counts instead of time keeps arrival *density* the
+        knob: a 0.25x slice is the same day, thinner — fault windows
+        sampled against the horizon still land where they would.
+        Non-zero counts never scale below 1, so a phase keeps its
+        character (a lone live viewer, one edit batch) at any factor.
+        """
+        if factor <= 0:
+            raise SimulationError(f"scale factor must be positive, got {factor}")
+
+        def scale(count: int) -> int:
+            return max(1, int(count * factor)) if count else 0
+
+        return replace(self,
+                       vod_sessions=scale(self.vod_sessions),
+                       live_viewers=scale(self.live_viewers),
+                       edit_jobs=scale(self.edit_jobs),
+                       maintenance_bumps=scale(self.maintenance_bumps))
+
+
+def default_day() -> Tuple[PhaseSpec, ...]:
+    """The stock broadcast day: ~10 virtual seconds, four regimes.
+
+    Morning ramps VOD up with the breakfast newscast on air; midday is
+    editing-heavy (transcode batches ride BACKGROUND); prime time is
+    the flash crowd (viral share spikes, the evening newscast draws
+    the most live viewers); overnight the floor drops and maintenance
+    — catalog version bumps, i.e. re-ingests — runs against the
+    stragglers.
+    """
+    return (
+        PhaseSpec("morning-ramp", 2.5, vod_sessions=120,
+                  interactive_share=0.2, viral_share=0.3,
+                  live_viewers=4),
+        PhaseSpec("midday-edit", 2.5, vod_sessions=100,
+                  interactive_share=0.15, viral_share=0.3,
+                  live_viewers=2, edit_jobs=4),
+        PhaseSpec("prime-time", 3.0, vod_sessions=360,
+                  interactive_share=0.25, viral_share=0.6,
+                  live_viewers=6),
+        PhaseSpec("overnight", 2.0, vod_sessions=40,
+                  interactive_share=0.1, viral_share=0.2,
+                  edit_jobs=2, maintenance_bumps=3),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One scheduled workload event, pure data.
+
+    ``kind`` is ``vod`` (a cached read session), ``live`` (a paced
+    INTERACTIVE newscast viewer), ``edit`` (a BACKGROUND full-asset
+    read batch) or ``bump`` (a maintenance version bump).  ``asset``
+    indexes the VOD catalog; ``-1`` is the news asset.  ``ordinal``
+    numbers events of one kind globally — it names the process.
+    """
+
+    at: float
+    kind: str
+    phase: str
+    asset: int
+    ordinal: int
+    elements: int = 0
+    interactive: bool = False
+
+    def line(self) -> str:
+        return (f"{self.at:.6f} {self.kind} phase={self.phase} "
+                f"asset={self.asset} n={self.ordinal} "
+                f"elements={self.elements} "
+                f"interactive={int(self.interactive)}")
+
+
+def build_timeline(phases: Sequence[PhaseSpec], seed: int,
+                   catalog_size: int = 10) -> List[TimelineEvent]:
+    """Draw the whole day's events from one seeded stream.
+
+    Asset popularity within a phase is Zipf over the catalog with the
+    phase's ``viral_share`` routed to asset 0; live viewers stagger in
+    at the top of their phase and stream until it ends; edit batches
+    land in the phase body; maintenance bumps split the phase evenly
+    and only touch non-viral VOD assets (bumping the asset a crowd is
+    glued to is a different experiment).
+    """
+    if catalog_size < 2:
+        raise SimulationError("timeline needs a catalog of at least 2 assets")
+    rng = random.Random(f"soak-timeline:{seed}")
+    weights = [1.0 / rank for rank in range(1, catalog_size)]
+    events: List[TimelineEvent] = []
+    counts = {"vod": 0, "live": 0, "edit": 0, "bump": 0}
+
+    def emit(at: float, kind: str, phase: str, asset: int,
+             elements: int = 0, interactive: bool = False) -> None:
+        events.append(TimelineEvent(round(at, 6), kind, phase, asset,
+                                    counts[kind], elements, interactive))
+        counts[kind] += 1
+
+    offset = 0.0
+    for spec in phases:
+        for _ in range(spec.vod_sessions):
+            arrival = offset + rng.uniform(0.0, spec.duration_s)
+            if rng.random() < spec.viral_share:
+                asset = 0
+            else:
+                asset = rng.choices(range(1, catalog_size),
+                                    weights=weights)[0]
+            emit(arrival, "vod", spec.name, asset, elements=VOD_ELEMENTS,
+                 interactive=rng.random() < spec.interactive_share)
+        for viewer in range(spec.live_viewers):
+            stagger = 0.01 * viewer
+            elements = min(MAX_LIVE_ELEMENTS,
+                           int((spec.duration_s - stagger - 0.1) / PERIOD_S))
+            if elements < 1:
+                continue
+            emit(offset + stagger, "live", spec.name, -1, elements=elements,
+                 interactive=True)
+        for _ in range(spec.edit_jobs):
+            arrival = offset + rng.uniform(0.05, 0.8) * spec.duration_s
+            emit(arrival, "edit", spec.name, rng.randrange(catalog_size),
+                 elements=VOD_ELEMENTS)
+        for bump in range(spec.maintenance_bumps):
+            at = offset + (bump + 1) * spec.duration_s \
+                / (spec.maintenance_bumps + 1)
+            emit(at, "bump", spec.name, rng.randrange(1, catalog_size))
+        offset += spec.duration_s
+    events.sort(key=lambda e: (e.at, e.kind, e.ordinal))
+    return events
+
+
+def timeline_sha256(events: Sequence[TimelineEvent]) -> str:
+    """Digest of the whole timeline — the determinism fact."""
+    folded = hashlib.sha256()
+    for event in events:
+        folded.update(event.line().encode())
+        folded.update(b"\n")
+    return folded.hexdigest()

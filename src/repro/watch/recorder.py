@@ -129,14 +129,21 @@ class FlightRecorder:
     # -- bundle assembly ---------------------------------------------------
     def bundle(self, reason: str, at_s: float,
                breaches: List = (),
-               slo_report: Optional[Dict[str, object]] = None) -> Dict[str, object]:
-        """Assemble one postmortem bundle (plain data, deterministic)."""
+               slo_report: Optional[Dict[str, object]] = None,
+               failure: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Assemble one postmortem bundle (plain data, deterministic).
+
+        ``failure`` carries crash evidence (process name, exception type
+        and message) when the bundle documents an unhandled scenario
+        exception rather than an invariant/SLO breach.
+        """
         decisions = self.obs.decisions
         tracer = self.obs.tracer
         doc: Dict[str, object] = {
             "bundle": "repro.watch postmortem",
             "reason": reason,
             "at_s": round(at_s, 9),
+            "failure": failure if failure is not None else {},
             "breaches": [b.to_dict() for b in breaches],
             "slo": slo_report if slo_report is not None else {},
             "decisions": [

@@ -57,6 +57,10 @@ class Watchdog:
         self._slo_bundled: set = set()
         self.bundle_paths: List[Path] = []
         self.ticks = 0
+        # A scenario can die from an unhandled exception between ticks;
+        # hook the kernel's first-failure path so even those crashes
+        # leave a postmortem instead of only a raise from run().
+        simulator.add_failure_hook(self._on_kernel_failure)
 
     # -- setup -------------------------------------------------------------
     def arm(self, channels=(), allocators=(), controllers=(), cluster=None,
@@ -119,6 +123,31 @@ class Watchdog:
         path = self._write_bundle(doc)
         where = f" (postmortem: {path})" if path is not None else ""
         raise InvariantBreachError(f"{first}{where}")
+
+    def _on_kernel_failure(self, proc, error: BaseException) -> None:
+        """First-failure hook: crash-dump anything we didn't raise ourselves.
+
+        Breach/SLO failures already wrote their bundle on the raise
+        path; everything else is an unhandled scenario exception whose
+        evidence would otherwise die with the traceback.
+        """
+        if isinstance(error, (InvariantBreachError, SLOViolationError)):
+            return
+        failure = {
+            "process": proc.name,
+            "error_type": type(error).__name__,
+            "error": str(error),
+        }
+        if self._decisions.enabled:
+            self._decisions.emit("unhandled-failure", proc.name,
+                                 actor=self.name,
+                                 error_type=failure["error_type"],
+                                 detail=failure["error"])
+        doc = self.recorder.bundle("unhandled-failure",
+                                   self.simulator.now.seconds,
+                                   slo_report=self.engine.report(),
+                                   failure=failure)
+        self._write_bundle(doc)
 
     def _check_hard_slos(self) -> None:
         results = self.engine.evaluate()

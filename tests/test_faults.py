@@ -551,3 +551,150 @@ class TestScenarios:
             with scoped():
                 without = scenario(seed=4, recover=False)["delivered_qos"]
             assert with_rec > without, name
+
+
+class TestFaultPlanComposition:
+    """merge()/validate(): deterministic combination, loud contradiction."""
+
+    def test_merge_dedupes_sorts_and_keeps_first_seed(self):
+        a = (FaultPlan(seed=5)
+             .node_outage("node-0", at=2.0, duration=0.5)
+             .channel_loss("net", rate=0.1))
+        b = (FaultPlan(seed=9)
+             .node_outage("node-0", at=2.0, duration=0.5)   # exact duplicate
+             .edge_cache_outage("edge-0", at=1.0, duration=0.3))
+        merged = FaultPlan.merge(a, b)
+        assert merged.seed == 5
+        assert len(merged) == 3                              # duplicate collapsed
+        assert [f.at for f in merged] == sorted(f.at for f in merged)
+        assert FaultPlan.merge(a, b, seed=42).seed == 42
+        with pytest.raises(SimulationError, match="at least one plan"):
+            FaultPlan.merge()
+
+    def test_merge_rejects_conflicting_outage_windows(self):
+        a = FaultPlan(seed=0).node_outage("node-0", at=1.0, duration=1.0)
+        b = FaultPlan(seed=0).node_outage("node-0", at=1.5, duration=2.0)
+        with pytest.raises(SimulationError, match="conflicting restore"):
+            FaultPlan.merge(a, b)
+        # duration=0 means "never restored": conflicts with any later window.
+        c = FaultPlan(seed=0).edge_cache_outage("edge-0", at=1.0)
+        d = FaultPlan(seed=0).edge_cache_outage("edge-0", at=5.0, duration=0.1)
+        with pytest.raises(SimulationError, match="conflicting restore"):
+            FaultPlan.merge(c, d)
+
+    def test_merge_rejects_two_loss_models_on_one_channel(self):
+        a = FaultPlan(seed=0).channel_loss("net", rate=0.1)
+        b = FaultPlan(seed=0).channel_loss("net", rate=0.2)
+        with pytest.raises(SimulationError, match="two different loss models"):
+            FaultPlan.merge(a, b)
+
+    def test_disjoint_windows_on_one_target_are_coherent(self):
+        plan = (FaultPlan(seed=0)
+                .node_outage("node-0", at=1.0, duration=0.5)
+                .node_outage("node-0", at=2.0, duration=0.5))
+        assert plan.validate() is plan
+
+    def test_to_dict_roundtrip(self):
+        plan = (FaultPlan(seed=3)
+                .edge_cache_outage("edge-1", at=0.5, duration=0.25)
+                .channel_loss("edge-1.nic", rate=0.05, jitter_s=0.001))
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.seed == plan.seed
+        assert rebuilt.faults == plan.faults
+
+
+class TestEdgeCacheFaults:
+    """The edge-cache-outage kind against a live cache tier."""
+
+    def _tier(self, sim, edges=2):
+        from repro.cache import CacheTier
+        from repro.cluster import ClusterPlacementManager, StorageNode
+
+        cluster = ClusterPlacementManager(sim, replication=2)
+        for i in range(3):
+            cluster.add_node(StorageNode(sim, f"node-{i}"))
+        tier = CacheTier(sim, cluster, edges=edges, hot_threshold=10_000)
+        return cluster, tier
+
+    def _read_all(self, sim, tier, blob, done):
+        stream = tier.open_read(blob, 6_000_000.0, label="viewer",
+                                queue_timeout_s=1.0)
+        total = blob.data_size_bits()
+        with stream:
+            while stream.bits_read < total:
+                yield from stream.read(min(240_000, total - stream.bits_read))
+        done.append(stream.digest)
+
+    def test_outage_kills_and_restores_the_edge(self):
+        from repro.cluster.scenarios import Blob
+        from repro.obs import scoped
+
+        with scoped():
+            sim = Simulator()
+            cluster, tier = self._tier(sim)
+            blob = Blob(90_000, 6_000_000.0)
+            cluster.place(blob)
+            plan = FaultPlan(seed=0).edge_cache_outage("edge-0", at=0.01,
+                                                       duration=0.3)
+            injector = FaultInjector(sim, plan).arm(edges=tier.edges)
+            done = []
+
+            def client():
+                yield Delay(0.05)            # arrive mid-outage
+                yield from self._read_all(sim, tier, blob, done)
+
+            sim.spawn(client(), "client")
+            sim.run()
+            edge = tier.edge("edge-0")
+            assert edge.deaths == 1
+            assert edge.live                 # restored at t=0.31
+            assert injector.injected == 1
+            assert injector.log[0][1:] == ("edge-cache-outage", "edge-0")
+            assert done                      # the read survived the outage
+
+    def test_single_edge_outage_degrades_to_passthrough(self):
+        from repro.cluster.scenarios import Blob
+        from repro.obs import scoped
+
+        with scoped():
+            sim = Simulator()
+            cluster, tier = self._tier(sim, edges=1)
+            blob = Blob(90_000, 6_000_000.0)
+            cluster.place(blob)
+            plan = FaultPlan(seed=0).edge_cache_outage("edge-0", at=0.01,
+                                                       duration=5.0)
+            FaultInjector(sim, plan).arm(edges=tier.edges)
+            done = []
+
+            def client():
+                yield Delay(0.05)            # no live edge left
+                yield from self._read_all(sim, tier, blob, done)
+
+            sim.spawn(client(), "client")
+            sim.run()
+            metrics = sim.obs.metrics
+            metrics.flush()
+            assert done
+            assert metrics.get("cache.passthrough").value > 0
+            assert tier.edge("edge-0").deaths == 1
+
+    def test_unknown_edge_target_raises_at_arm_time(self, sim):
+        from repro.obs import scoped
+
+        with scoped():
+            _, tier = self._tier(sim)
+            plan = FaultPlan(seed=0).edge_cache_outage("edge-9", at=0.1,
+                                                       duration=0.1)
+            with pytest.raises(SimulationError, match="names edge 'edge-9'"):
+                FaultInjector(sim, plan).arm(edges=tier.edges)
+
+    def test_edge_and_node_namespaces_stay_separate(self, sim):
+        from repro.obs import scoped
+
+        with scoped():
+            _, tier = self._tier(sim)
+            # A plan naming a *node* cannot quietly hit an edge.
+            plan = FaultPlan(seed=0).node_outage("node-0", at=0.1,
+                                                 duration=0.1)
+            with pytest.raises(SimulationError, match="names node"):
+                FaultInjector(sim, plan).arm(edges=tier.edges)

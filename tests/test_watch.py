@@ -437,3 +437,76 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "decision chain for 'bg-1'" in out
         assert "preempted" in out
+
+
+class TestCrashPostmortems:
+    """An unhandled scenario exception leaves a postmortem behind."""
+
+    def test_crash_writes_unhandled_failure_bundle(self, tmp_path):
+        with scoped():
+            sim = Simulator()
+            dog = Watchdog(sim, slos=default_slos(), bundle_dir=tmp_path)
+            dog.start(cadence_s=0.1, horizon_s=1.0)
+
+            def encoder():
+                yield Delay(0.2)
+                raise RuntimeError("codec wedged")
+
+            sim.spawn(encoder(), "encoder")
+            # The crash still propagates — the bundle is a side effect,
+            # not a swallow.
+            with pytest.raises(RuntimeError, match="codec wedged"):
+                sim.run()
+            assert len(dog.bundle_paths) == 1
+            bundle = json.loads(dog.bundle_paths[0].read_text())
+            assert bundle["reason"] == "unhandled-failure"
+            assert bundle["failure"] == {
+                "process": "encoder",
+                "error_type": "RuntimeError",
+                "error": "codec wedged",
+            }
+
+    def test_only_the_first_crash_is_bundled(self, tmp_path):
+        with scoped():
+            sim = Simulator()
+            dog = Watchdog(sim, slos=default_slos(), bundle_dir=tmp_path)
+            dog.start(cadence_s=0.1, horizon_s=1.0)
+
+            def crasher(name, at):
+                def gen():
+                    yield Delay(at)
+                    raise RuntimeError(name)
+                return gen()
+
+            sim.spawn(crasher("first", 0.2), "first")
+            sim.spawn(crasher("second", 0.3), "second")
+            with pytest.raises(RuntimeError):
+                sim.run()
+            assert len(dog.bundle_paths) == 1
+            bundle = json.loads(dog.bundle_paths[0].read_text())
+            assert bundle["failure"]["process"] == "first"
+
+    def test_breach_does_not_double_bundle(self, tmp_path):
+        # The kernel failure hook must skip InvariantBreachError — the
+        # monitor already wrote the richer invariant-breach bundle.
+        with scoped():
+            sim = Simulator()
+            trunk = Channel(sim, 1_000_000.0, name="trunk")
+            controller = AdmissionController(sim, trunk)
+            dog = Watchdog(sim, slos=default_slos(), bundle_dir=tmp_path)
+            dog.arm(channels=[trunk], controllers=[controller],
+                    channels_complete=True)
+            dog.start(cadence_s=0.1, horizon_s=1.0)
+
+            def leaker():
+                reservation = controller.try_admit(
+                    QoSContract(250_000.0), label="leaky")
+                yield Delay(0.25)
+                trunk.debug_leak_releases = True
+                reservation.release()
+
+            sim.spawn(leaker(), "leaker")
+            with pytest.raises(InvariantBreachError):
+                sim.run()
+            assert [json.loads(p.read_text())["reason"]
+                    for p in dog.bundle_paths] == ["invariant-breach"]
