@@ -1,0 +1,260 @@
+"""Herd-scale benchmark: clients simulated per wall-clock second.
+
+Runs the same phased workload twice — once as one discrete DES process
+per client (the reference), once as a vectorized herd population
+through the coupler — and reports **clients simulated per second** for
+each plus the speedup.  Before any speed claim, the equivalence probe
+must pass: a fast simulation that disagrees with the kernel is a bug,
+not a result.
+
+Usage::
+
+    python benchmarks/bench_herd_scale.py                # full run + table
+    python benchmarks/bench_herd_scale.py --smoke        # CI gate (>= 50x)
+    python benchmarks/bench_herd_scale.py --update       # record into
+                                                         # BENCH_PERF.json
+
+The full run drives the herd at 10^5 clients against a discrete
+reference at 4x10^3 (running 10^5 discrete clients is exactly the cost
+this mode exists to avoid); ``--update`` writes the ``herd_scale``
+section of ``BENCH_PERF.json`` and merges ``clients_simulated_per_s``
+into the current PR's trajectory row.  The smoke gate re-measures up to
+3 times before failing so shared-CI noise dips don't flap the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.herd.equivalence import (  # noqa: E402
+    equivalence_report,
+    run_discrete,
+    run_herd,
+)
+from repro.herd.population import HerdPhase, HerdPopulation  # noqa: E402
+
+PERF_PATH = REPO_ROOT / "BENCH_PERF.json"
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "herd_scale.txt"
+
+STREAM_BPS = 1_000_000.0
+EPOCH_S = 0.05
+SESSION_EPOCHS = 4
+
+#: expected client counts per mode.  The discrete side is deliberately
+#: small — its measured clients/s extrapolates linearly (every client
+#: is O(log n) heap work), the herd side is the one being proven.
+FULL = {"herd_clients": 100_000, "discrete_clients": 4_000}
+SMOKE = {"herd_clients": 50_000, "discrete_clients": 1_000}
+
+#: the acceptance gate: herd clients/s must beat discrete clients/s by
+#: at least this factor (the real margin is orders beyond it).
+SPEEDUP_GATE = 50.0
+SMOKE_ATTEMPTS = 3
+
+#: the equivalence probe's expected population size.
+PROBE_CLIENTS = 240
+
+
+def _phases(rate: float):
+    """The surge mix: ramp / peak / cooldown (see repro.herd.scenarios)."""
+    return (
+        HerdPhase("ramp", 2.0, rate, viral_share=0.35,
+                  interactive_share=0.2),
+        HerdPhase("peak", 3.0, 4.0 * rate, viral_share=0.6,
+                  interactive_share=0.25, background_share=0.1),
+        HerdPhase("cool", 2.0, 0.8 * rate, viral_share=0.3),
+    )
+
+
+def _population(clients: int, seed: int = 0) -> HerdPopulation:
+    # expected clients of _phases(1.0) = 2 + 12 + 1.6 = 15.6
+    return HerdPopulation(_phases(clients / 15.6), seed=seed,
+                          catalog_size=32, epoch_s=EPOCH_S)
+
+
+def _capacity_bps(clients: int) -> float:
+    # Keep contention comparable across sizes: one trunk stream slot
+    # per 125 expected clients (the peak offers ~2.5x the trunk).
+    return STREAM_BPS * max(4, clients // 125)
+
+
+def measure(mode: str, clients: int, seed: int = 0) -> dict:
+    """One timed run; wall time includes population compilation."""
+    runner = run_herd if mode == "herd" else run_discrete
+    t0 = time.perf_counter()
+    population = _population(clients, seed)
+    facts = runner(population, capacity_bps=_capacity_bps(clients),
+                   stream_bps=STREAM_BPS, session_epochs=SESSION_EPOCHS)
+    dt = time.perf_counter() - t0
+    simulated = int(facts["clients"])
+    return {
+        "mode": mode,
+        "clients": simulated,
+        "wall_s": dt,
+        "clients_per_s": simulated / dt,
+        "admitted": facts["admitted_full"] + facts["admitted_degraded"],
+        "shed": facts["shed"],
+    }
+
+
+def check_equivalence(seed: int = 0) -> dict:
+    """The honesty gate: herd == discrete on a small same-seed run."""
+    population = _population(PROBE_CLIENTS, seed)
+    report = equivalence_report(population,
+                                capacity_bps=_capacity_bps(PROBE_CLIENTS),
+                                stream_bps=STREAM_BPS,
+                                session_epochs=SESSION_EPOCHS)
+    return report
+
+
+def run_pair(sizes: dict, repeats: int = 3) -> dict:
+    """Best-of-N clients/s for both modes plus the speedup."""
+    herd = max((measure("herd", sizes["herd_clients"])
+                for _ in range(repeats)), key=lambda m: m["clients_per_s"])
+    discrete = max((measure("discrete", sizes["discrete_clients"])
+                    for _ in range(repeats)),
+                   key=lambda m: m["clients_per_s"])
+    return {
+        "herd": herd,
+        "discrete": discrete,
+        "speedup": herd["clients_per_s"] / discrete["clients_per_s"],
+    }
+
+
+def print_table(pair: dict, title: str) -> None:
+    print(f"== {title}")
+    for mode in ("herd", "discrete"):
+        m = pair[mode]
+        print(f"   {mode:<9} {m['clients']:>8,} clients in "
+              f"{m['wall_s']:.3f}s = {m['clients_per_s']:>14,.0f} clients/s "
+              f"(admitted {m['admitted']:,}, shed {m['shed']:,})")
+    print(f"   speedup   {pair['speedup']:,.1f}x "
+          f"(gate >= {SPEEDUP_GATE:.0f}x)")
+
+
+def cmd_run(args) -> int:
+    report = check_equivalence()
+    verdict = "ok" if report["equivalent"] else "FAILED"
+    print(f"equivalence probe ({report['clients']} clients): {verdict}")
+    if not report["equivalent"]:
+        for line in report["mismatches"]:
+            print(f"   {line}", file=sys.stderr)
+        return 1
+    pair = run_pair(SMOKE if args.smoke_sizes else FULL)
+    print_table(pair, "herd scale (clients simulated per second)")
+    if args.json:
+        Path(args.json).write_text(json.dumps(pair, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_smoke(args) -> int:
+    """CI gate: equivalence must hold and the speedup must clear the
+    gate; re-measure before failing so shared-machine noise dips (which
+    depress the herd run more than the discrete one, or vice versa)
+    don't flap the job."""
+    report = check_equivalence()
+    if not report["equivalent"]:
+        print("herd-scale smoke FAILED: herd diverges from the discrete "
+              "kernel:", file=sys.stderr)
+        for line in report["mismatches"]:
+            print(f"   {line}", file=sys.stderr)
+        return 1
+    print(f"equivalence probe ({report['clients']} clients): ok")
+    for attempt in range(1, SMOKE_ATTEMPTS + 1):
+        pair = run_pair(SMOKE, repeats=2)
+        print_table(pair, f"herd-scale smoke (attempt "
+                          f"{attempt}/{SMOKE_ATTEMPTS})")
+        if pair["speedup"] >= SPEEDUP_GATE:
+            print("herd-scale smoke ok")
+            return 0
+        if attempt < SMOKE_ATTEMPTS:
+            print("   below the gate — re-measuring to rule out "
+                  "machine noise")
+    print(f"herd-scale smoke FAILED: speedup below {SPEEDUP_GATE:.0f}x "
+          f"across {SMOKE_ATTEMPTS} attempts", file=sys.stderr)
+    return 1
+
+
+def cmd_update(args) -> int:
+    """Measure at full scale and record into BENCH_PERF.json."""
+    report = check_equivalence()
+    if not report["equivalent"]:
+        print("refusing to record: herd diverges from the discrete kernel",
+              file=sys.stderr)
+        for line in report["mismatches"]:
+            print(f"   {line}", file=sys.stderr)
+        return 1
+    print(f"equivalence probe ({report['clients']} clients): ok")
+    pair = run_pair(FULL)
+    print_table(pair, "herd scale (full)")
+
+    doc = json.loads(PERF_PATH.read_text()) if PERF_PATH.exists() else {
+        "schema": 1, "trajectory": []}
+    doc["herd_scale"] = {
+        "seed": 0,
+        "gate_speedup": SPEEDUP_GATE,
+        "equivalence_clients": report["clients"],
+        "equivalent": report["equivalent"],
+        "herd_clients": pair["herd"]["clients"],
+        "herd_wall_s": round(pair["herd"]["wall_s"], 4),
+        "discrete_clients": pair["discrete"]["clients"],
+        "discrete_wall_s": round(pair["discrete"]["wall_s"], 4),
+        "clients_simulated_per_s": round(pair["herd"]["clients_per_s"], 1),
+        "discrete_clients_per_s": round(
+            pair["discrete"]["clients_per_s"], 1),
+        "speedup": round(pair["speedup"], 1),
+    }
+    # Surface the headline metric on this PR's trajectory row too.
+    for entry in doc.get("trajectory", []):
+        if entry.get("pr") == args.pr:
+            entry["clients_simulated_per_s"] = round(
+                pair["herd"]["clients_per_s"], 1)
+            entry["herd_scale_speedup"] = round(pair["speedup"], 1)
+    PERF_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {PERF_PATH}")
+
+    lines = [
+        "herd scale — clients simulated per wall-clock second",
+        f"equivalence probe: {report['clients']} clients, "
+        f"{'ok' if report['equivalent'] else 'FAILED'}",
+        f"herd     {pair['herd']['clients']:>8,} clients  "
+        f"{pair['herd']['clients_per_s']:>14,.0f}/s",
+        f"discrete {pair['discrete']['clients']:>8,} clients  "
+        f"{pair['discrete']['clients_per_s']:>14,.0f}/s",
+        f"speedup  {pair['speedup']:,.1f}x (gate >= {SPEEDUP_GATE:.0f}x)",
+    ]
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text("\n".join(lines) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: equivalence + speedup floor")
+    parser.add_argument("--smoke-sizes", action="store_true",
+                        help="plain run with the smoke workload sizes")
+    parser.add_argument("--update", action="store_true",
+                        help="write BENCH_PERF.json herd_scale section")
+    parser.add_argument("--json", default=None,
+                        help="dump raw results to file")
+    parser.add_argument("--pr", type=int, default=9)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return cmd_smoke(args)
+    if args.update:
+        return cmd_update(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -365,8 +365,8 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline-json", default=None,
                         help="pre-optimization --json dump to record as baseline")
     parser.add_argument("--json", default=None, help="dump raw results to file")
-    parser.add_argument("--pr", type=int, default=4)
-    parser.add_argument("--label", default="PR 4 hot-path overhaul")
+    parser.add_argument("--pr", type=int, default=9)
+    parser.add_argument("--label", default="PR 9 vectorized herd simulation")
     args = parser.parse_args(argv)
     if args.smoke:
         return cmd_smoke(args)

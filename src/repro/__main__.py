@@ -36,6 +36,13 @@ under the ``repro.watch`` layer (SLO engine + invariant monitor +
 flight recorder) and prints error-budget burn, breach facts and a
 deterministic summary line; ``--bundle-dir`` writes postmortem bundles.
 
+``python -m repro herd <scenario>`` runs a hybrid herd scenario:
+foreground interactive sessions as full discrete processes, plus a
+vectorized client herd (seeded Zipf popularity + Poisson arrivals)
+advanced per epoch through the same admission controller and edge-cache
+model; ``--clients N`` scales the crowd and ``--compare-discrete`` runs
+the scaled-down herd-vs-discrete equivalence probe alongside.
+
 ``python -m repro soak day`` runs the composed broadcast-day soak
 scenario (live newscast + VOD Zipf crowd + editing batches + overnight
 maintenance) under seeded chaos with the full watch stack supervising;
@@ -299,6 +306,36 @@ def watch(scenario_name: str, seed: int, bundle_dir: Path | None) -> int:
     return 0
 
 
+def herd(scenario_name: str, seed: int, clients: int | None,
+         compare_discrete: bool) -> int:
+    """Run hybrid herd scenarios and print crowd/foreground facts."""
+    from repro.herd import SCENARIOS, summary_line
+    from repro.obs import scoped
+
+    names = _lookup_scenario("herd", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
+        return 2
+
+    exit_code = 0
+    for name in names:
+        # A fresh observability scope per run keeps herd.* counters
+        # from bleeding between scenarios in one process.
+        with scoped():
+            facts = SCENARIOS[name](seed=seed, clients=clients,
+                                    compare_discrete=compare_discrete)
+        print(f"scenario {name!r} (seed {seed}):")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+        print(summary_line(name, facts))
+        if compare_discrete and not facts.get("probe_equivalent", False):
+            # The herd mode diverging from its discrete reference is a
+            # correctness failure, not a tuning matter — make it a
+            # non-zero exit so CI can gate on it directly.
+            exit_code = 1
+    return exit_code
+
+
 def soak(args) -> int:
     """Run the broadcast-day soak, or the chaos search over it."""
     from repro.obs import scoped
@@ -490,6 +527,21 @@ def main(argv=None) -> int:
                               help="scenario seed (default: 0)")
     watch_parser.add_argument("--bundle-dir", type=Path, default=None,
                               help="write postmortem bundles here")
+    herd_parser = sub.add_parser(
+        "herd", help="run a hybrid vectorized-herd scenario "
+                     "(foreground sessions + fluid client crowds)"
+    )
+    herd_parser.add_argument("scenario", nargs="?", default="surge",
+                             help="herd scenario name, or 'all' "
+                                  "(default: surge)")
+    herd_parser.add_argument("--seed", type=int, default=0,
+                             help="population seed (default: 0)")
+    herd_parser.add_argument("--clients", type=int, default=None,
+                             help="expected crowd size (default: the "
+                                  "scenario's own)")
+    herd_parser.add_argument("--compare-discrete", action="store_true",
+                             help="also run the scaled-down herd-vs-"
+                                  "discrete equivalence probe")
     soak_parser = sub.add_parser(
         "soak", help="run the broadcast-day soak or the chaos search"
     )
@@ -561,6 +613,9 @@ def main(argv=None) -> int:
                      args.policy)
     if args.command == "watch":
         return watch(args.scenario, args.seed, args.bundle_dir)
+    if args.command == "herd":
+        return herd(args.scenario, args.seed, args.clients,
+                    args.compare_discrete)
     if args.command == "soak":
         return soak(args)
     if args.command == "explain":

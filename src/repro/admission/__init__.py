@@ -15,6 +15,7 @@ named :data:`SCENARIOS` drive seeded multi-client overload experiments
 from repro.admission.breaker import BreakerState, CircuitBreaker
 from repro.admission.controller import (
     AdmissionController,
+    BatchVerdict,
     Priority,
     QoSContract,
 )
@@ -23,6 +24,7 @@ from repro.admission.workload import OverloadWorkload, summary_line
 
 __all__ = [
     "AdmissionController",
+    "BatchVerdict",
     "BreakerState",
     "CircuitBreaker",
     "OverloadWorkload",

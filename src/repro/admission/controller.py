@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Dict, Generator, List, Optional, Tuple
@@ -80,6 +81,28 @@ class QoSContract:
             raise AdmissionError(
                 f"queue timeout must be >= 0, got {self.queue_timeout_s}"
             )
+
+
+@dataclass(frozen=True, slots=True)
+class BatchVerdict:
+    """Outcome of one :meth:`AdmissionController.admit_batch` call.
+
+    ``reservations`` holds the cohort reservations actually granted —
+    at most one full-rate aggregate (``admitted_full`` clients at the
+    contract rate each) and at most one degraded single-client grant,
+    mirroring what a sequential arrival burst would have produced.
+    """
+
+    requested: int
+    admitted_full: int
+    admitted_degraded: int
+    shed: int
+    granted_bps: float
+    reservations: Tuple[Reservation, ...]
+
+    @property
+    def admitted(self) -> int:
+        return self.admitted_full + self.admitted_degraded
 
 
 class _Shed:
@@ -197,10 +220,17 @@ class AdmissionController:
             if self.channel.available_bps + 1e-9 >= bps:
                 break
             victim.preempted = True
-            self._m_preempted.inc()
+            self._m_preempted.inc(victim.cohort_clients)
             if self._decisions.enabled:
-                self._decisions.emit("preempt", victim.label, actor=self.name,
-                                     bps=victim.bps)
+                # Ordinary streams keep the historical event shape; only
+                # herd cohorts carry the per-client count field.
+                if victim.cohort_clients == 1:
+                    self._decisions.emit("preempt", victim.label,
+                                         actor=self.name, bps=victim.bps)
+                else:
+                    self._decisions.emit("preempt", victim.label,
+                                         actor=self.name, bps=victim.bps,
+                                         count=victim.cohort_clients)
             tracer = self.simulator.obs.tracer
             if tracer.enabled:
                 tracer.instant("admission:preempt", "admission",
@@ -284,6 +314,107 @@ class AdmissionController:
             )
         self._pump()  # a degraded grant may leave room for queued work
         return reservation
+
+    # -- batched admission (the herd path) ---------------------------------
+    def admit_batch(self, contract: QoSContract, count: int,
+                    label: str = "herd") -> BatchVerdict:
+        """Admit up to ``count`` identical contracts in one decision.
+
+        The vectorized equivalent of ``count`` back-to-back
+        :meth:`try_admit` calls at one instant, minus queueing and
+        preemption: as many full-rate grants as capacity allows are
+        folded into **one** cohort :class:`~repro.net.channel.Reservation`
+        of ``n x bps`` (so a herd of 10^5 clients costs O(lifetime)
+        reservations, not O(clients)); the next client may take the
+        degraded remainder exactly as a sequential arrival would; the
+        rest are shed or rejected exactly as sequential arrivals would
+        be.  Background batches re-check the watermark per grant, so a
+        cohort stops growing the moment its own grants reach it — the
+        same point a sequential arrival burst stops admitting.
+
+        Cohort reservations carry ``cohort_clients`` so preemption by
+        foreground interactive work is charged per *client*, not per
+        reservation.  Metrics and the decision log advance by batch
+        counts.
+        """
+        if count < 0:
+            raise AdmissionError(f"batch count must be >= 0, got {count}")
+        if count == 0:
+            return BatchVerdict(0, 0, 0, 0, 0.0, ())
+        if (contract.priority is Priority.BACKGROUND
+                and self.utilization >= self.high_watermark - 1e-12):
+            self._m_shed.inc(count)
+            if self._decisions.enabled:
+                self._decisions.emit("shed", label, actor=self.name,
+                                     reason="watermark", count=count,
+                                     utilization=round(self.utilization, 4))
+            return BatchVerdict(count, 0, 0, count, 0.0, ())
+        reservations = []
+        granted_bps = 0.0
+        available = self.channel.available_bps
+        n_full = min(count, int((available + 1e-9) // contract.bps))
+        if contract.priority is Priority.BACKGROUND and n_full:
+            # A sequential background arrival re-checks the watermark
+            # *before* its grant, so the k-th client of a burst admits
+            # only while reserved + k*bps is still under it — cap the
+            # cohort there, not at channel capacity.
+            headroom = ((self.high_watermark - 1e-12)
+                        * self.channel.capacity_bps
+                        - self.channel.reserved_bps)
+            n_full = min(n_full, max(0, math.ceil(headroom / contract.bps)))
+        if n_full:
+            cohort = self._grant(n_full * contract.bps, contract, label)
+            cohort.cohort_clients = n_full
+            reservations.append(cohort)
+            granted_bps += cohort.bps
+            self._m_admitted.inc(n_full)
+            if self._decisions.enabled:
+                self._decisions.emit("admit", label, actor=self.name,
+                                     bps=contract.bps, count=n_full)
+        # Past the grants above, a sequential background arrival sheds
+        # at the watermark before it ever reaches the degrade step.
+        at_watermark = (contract.priority is Priority.BACKGROUND
+                        and self.utilization >= self.high_watermark - 1e-12)
+        n_degraded = 0
+        if count > n_full and contract.min_fraction < 1.0 and not at_watermark:
+            available = self.channel.available_bps
+            floor = contract.bps * contract.min_fraction
+            if available + 1e-9 >= floor and available > 0:
+                # Sequentially, the first client past capacity takes the
+                # whole remainder (>= its floor); everyone after it sees
+                # nothing left — so a batch degrades at most one client.
+                grant = min(available, contract.bps)
+                degraded = self._grant(grant, contract, f"{label}-degraded")
+                degraded.cohort_clients = 1
+                reservations.append(degraded)
+                granted_bps += grant
+                n_degraded = 1
+                self._m_degraded.inc()
+                if self._decisions.enabled:
+                    self._decisions.emit(
+                        "degrade", label, actor=self.name, bps=grant,
+                        requested_bps=contract.bps,
+                        fraction=round(grant / contract.bps, 4))
+        shed = count - n_full - n_degraded
+        if shed:
+            # Sequentially the leftovers all see the same post-grant
+            # state (a degraded grant may itself have reached the
+            # watermark, so re-check): background work at the watermark
+            # is shed, anything else is rejected.
+            at_watermark = (contract.priority is Priority.BACKGROUND
+                            and self.utilization
+                            >= self.high_watermark - 1e-12)
+            if at_watermark:
+                self._m_shed.inc(shed)
+            else:
+                self._m_rejected.inc(shed)
+            if self._decisions.enabled:
+                self._decisions.emit(
+                    "shed" if at_watermark else "reject", label,
+                    actor=self.name, count=shed,
+                    available_bps=round(self.channel.available_bps, 3))
+        return BatchVerdict(count, n_full, n_degraded, shed,
+                            granted_bps, tuple(reservations))
 
     # -- queued admission (DES subroutine) ---------------------------------
     def admit(self, contract: QoSContract, label: str = "stream") -> Generator:

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.net.channel import Channel
 from repro.sim import Delay
+from repro.synth.arrivals import mixture_pick, poisson_step
 
 #: per-priority QoS defaults: (degraded floor fraction, queue timeout s).
 PRIORITY_QOS = {
@@ -138,10 +139,8 @@ class OverloadWorkload:
         specs: List[ClientSpec] = []
         clock = 0.0
         for index in range(self.clients):
-            clock += rng.expovariate(lam)
-            draw = rng.random()
-            priority = next(p for threshold, p in _PRIORITY_MIX
-                            if draw <= threshold)
+            clock += poisson_step(rng, lam)
+            priority = mixture_pick(rng, _PRIORITY_MIX)
             specs.append(ClientSpec(
                 index=index,
                 name=f"client-{index:03d}",

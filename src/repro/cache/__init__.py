@@ -13,6 +13,8 @@ This package adds the missing distribution tier:
   nodes and the :class:`EdgeStream` read path (hit, read-through,
   pass-through);
 * :mod:`repro.cache.hotspot` — sliding-window flash-crowd detection;
+* :mod:`repro.cache.aggregate` — :class:`AggregateHitModel`, the fluid
+  top-K approximation of the edge tier used by :mod:`repro.herd`;
 * :mod:`repro.cache.tier` — :class:`CacheTier` wiring it all to a
   :class:`~repro.cluster.placement.ClusterPlacementManager`, including
   BACKGROUND prefill and temporary replication boost;
@@ -20,6 +22,7 @@ This package adds the missing distribution tier:
   scenarios behind ``python -m repro cache``.
 """
 
+from repro.cache.aggregate import AggregateHitModel
 from repro.cache.block import BlockCache, content_stamp, span_blocks
 from repro.cache.edge import EdgeCacheNode, EdgeStream
 from repro.cache.hotspot import HotContentDetector
@@ -34,6 +37,7 @@ from repro.cache.scenarios import SCENARIOS, summary_line
 from repro.cache.tier import CacheTier
 
 __all__ = [
+    "AggregateHitModel",
     "BlockCache",
     "CacheTier",
     "CostAwarePolicy",

@@ -33,6 +33,7 @@ from repro.admission.controller import Priority
 from repro.cluster.scenarios import Blob, _build_cluster
 from repro.errors import AdmissionError, CacheError, ClusterError, FaultError
 from repro.sim import Delay, Simulator
+from repro.synth.arrivals import uniform_arrival, zipf_pick, zipf_weights
 
 ELEMENT_BITS = 240_000
 PERIOD_S = 0.04
@@ -93,14 +94,11 @@ def zipf_crowd(seed: int = 0, nodes: int = 4, cached: bool = True,
 
     # The whole workload is drawn up front from one rng, so cached and
     # cache-less runs see byte-identical session plans.
-    weights = [1.0 / rank for rank in range(1, values_count)]
+    weights = zipf_weights(values_count)
     plans = []
     for idx in range(sessions):
-        arrival = rng.uniform(0.0, arrival_window_s)
-        if rng.random() < viral_share:
-            asset = 0
-        else:
-            asset = rng.choices(range(1, values_count), weights=weights)[0]
+        arrival = uniform_arrival(rng, arrival_window_s)
+        asset = zipf_pick(rng, values_count, viral_share, weights)
         interactive = rng.random() < interactive_share
         plans.append((arrival, asset, interactive))
 

@@ -1,0 +1,246 @@
+"""The herd coupler: folds aggregate demand into the real trunk.
+
+:class:`HerdCoupler` is the bridge between a compiled
+:class:`~repro.herd.population.HerdPopulation` and the discrete world.
+It registers one :meth:`~repro.sim.Simulator.schedule_every` cadence
+and, on every epoch tick, in this order:
+
+1. **departures** — cohorts admitted ``session_epochs`` ticks ago
+   release their aggregate reservations (or are counted preempted if a
+   foreground interactive stream revoked them in between), and their
+   delivered bits are charged to the trunk's traffic accounting;
+2. **arrivals** — the epoch's client counts, optionally thinned by an
+   :class:`~repro.cache.aggregate.AggregateHitModel` (edge hits never
+   touch the trunk), are put to
+   :meth:`~repro.admission.AdmissionController.admit_batch` per
+   priority class, best class first.
+
+Because admitted cohorts hold *real*
+:class:`~repro.net.channel.Reservation` slices of the *real* channel,
+contention is bidirectional: herd load makes foreground sessions queue,
+degrade or preempt, and foreground reservations shrink what the herd
+can admit.  One epoch costs O(priority classes) controller calls
+regardless of how many thousand clients arrive — that is the whole
+trick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.admission.controller import (
+    AdmissionController,
+    QoSContract,
+)
+from repro.admission.workload import PRIORITY_QOS
+from repro.errors import SimulationError
+from repro.herd.population import PRIORITY_ORDER, HerdPopulation
+from repro.net.channel import Reservation
+from repro.sim import Simulator
+
+
+def apportion(total: int, counts: List[int]) -> List[int]:
+    """Split ``total`` across ``counts`` proportionally (largest remainder).
+
+    Deterministic: exact quotas are floored, then the leftover units go
+    to the largest fractional parts, first-listed winning ties.  Used
+    to spread cache misses across the priority classes of one epoch.
+    """
+    pool = sum(counts)
+    if total < 0 or total > pool:
+        raise SimulationError(
+            f"cannot apportion {total} across counts summing to {pool}")
+    if total == pool:
+        return list(counts)
+    quotas = [total * c / pool if pool else 0.0 for c in counts]
+    floors = [int(q) for q in quotas]
+    shortfall = total - sum(floors)
+    order = sorted(range(len(counts)),
+                   key=lambda i: (-(quotas[i] - floors[i]), i))
+    for i in order[:shortfall]:
+        floors[i] += 1
+    return floors
+
+
+class _Cohort:
+    """One admitted slice of an epoch, awaiting its departure tick."""
+
+    __slots__ = ("reservation", "admitted_at", "released_at")
+
+    def __init__(self, reservation: Reservation, admitted_at: float) -> None:
+        self.reservation = reservation
+        self.admitted_at = admitted_at
+        self.released_at: Optional[float] = None
+
+
+class HerdCoupler:
+    """Advance a herd population per epoch against a live controller."""
+
+    def __init__(self, simulator: Simulator,
+                 controller: AdmissionController,
+                 population: HerdPopulation, *,
+                 stream_bps: float = 1_000_000.0,
+                 session_epochs: int = 4,
+                 cache_model=None,
+                 label: str = "herd") -> None:
+        if stream_bps <= 0:
+            raise SimulationError(
+                f"herd stream rate must be positive, got {stream_bps}")
+        if session_epochs < 1:
+            raise SimulationError(
+                f"herd sessions must span >= 1 epoch, got {session_epochs}")
+        self.simulator = simulator
+        self.controller = controller
+        self.population = population
+        self.stream_bps = stream_bps
+        self.session_epochs = session_epochs
+        self.session_s = session_epochs * population.epoch_s
+        self.cache_model = cache_model
+        self.label = label
+        self._contracts = {
+            priority: QoSContract(stream_bps, priority,
+                                  *PRIORITY_QOS[priority])
+            for priority in PRIORITY_ORDER
+        }
+        self._labels = {
+            priority: f"{label}-{priority.name.lower()}"
+            for priority in PRIORITY_ORDER
+        }
+        #: departure tick -> cohorts whose sessions end there.
+        self._departures: Dict[int, List[_Cohort]] = {}
+        #: (epoch-end virtual time, trunk utilization) per tick — the
+        #: curve the equivalence harness compares against the discrete
+        #: reference.
+        self.occupancy: List[Tuple[float, float]] = []
+        self.stats: Dict[str, int] = {key: 0 for key in (
+            "clients", "edge_served", "admitted_full", "admitted_degraded",
+            "shed", "completed", "preempted", "goodput_bits",
+            "wasted_bits",
+        )}
+        self._ticker = None
+        metrics = simulator.obs.metrics
+        self._m_clients = metrics.counter("herd.clients")
+        self._m_edge = metrics.counter("herd.edge_served")
+        self._m_completed = metrics.counter("herd.completed")
+        self._m_preempted = metrics.counter("herd.preempted_clients")
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self):
+        """Register the epoch cadence; returns the ticker handle."""
+        if self._ticker is not None:
+            raise SimulationError("herd coupler already started")
+        self._ticker = self.simulator.schedule_every(
+            self.population.epoch_s, self._on_epoch)
+        return self._ticker
+
+    # -- the epoch tick ----------------------------------------------------
+    def _on_epoch(self, tick: int) -> None:
+        self._depart(tick)
+        done = tick >= self.population.n_epochs
+        if not done:
+            self._arrive(tick)
+        self.occupancy.append((round(self.simulator.now.seconds, 9),
+                               self.controller.utilization))
+        # Fixed horizon: the last possible departure is at tick
+        # ``n_epochs - 1 + session_epochs`` — run exactly through it so
+        # the occupancy curve always has ``n_epochs + session_epochs``
+        # points, shed-everything tails included.
+        if tick + 1 >= self.population.n_epochs + self.session_epochs:
+            raise StopIteration
+
+    def _depart(self, tick: int) -> None:
+        for cohort in self._departures.pop(tick, ()):
+            reservation = cohort.reservation
+            clients = reservation.cohort_clients
+            if reservation.preempted:
+                # A foreground interactive stream revoked this cohort
+                # mid-session; everything it sent up to that point was
+                # wasted work (the discrete scoring rule).
+                held_s = ((cohort.released_at or self.simulator.now.seconds)
+                          - cohort.admitted_at)
+                bits = int(reservation.bps * held_s)
+                self.controller.channel._account(bits)
+                self.stats["preempted"] += clients
+                self.stats["wasted_bits"] += bits
+                self._m_preempted.inc(clients)
+                continue
+            bits = int(reservation.bps * self.session_s)
+            self.controller.channel._account(bits)
+            reservation.release()
+            self.stats["completed"] += clients
+            self.stats["goodput_bits"] += bits
+            self._m_completed.inc(clients)
+
+    def _arrive(self, tick: int) -> None:
+        population = self.population
+        total = int(population.arrivals[tick])
+        if not total:
+            return
+        self.stats["clients"] += total
+        self._m_clients.inc(total)
+        counts = [int(population.by_priority[p][tick])
+                  for p in PRIORITY_ORDER]
+        if self.cache_model is not None:
+            hits, misses = self.cache_model.account(population.demand[tick])
+            if hits:
+                # Edge hits are served locally at full rate; they never
+                # reach the trunk.  Spread the misses across the
+                # priority classes proportionally (deterministic).
+                self.stats["edge_served"] += hits
+                self._m_edge.inc(hits)
+                self.stats["goodput_bits"] += int(
+                    hits * self.stream_bps * self.session_s)
+                counts = apportion(misses, counts)
+        now = self.simulator.now.seconds
+        depart_tick = tick + self.session_epochs
+        for priority, count in zip(PRIORITY_ORDER, counts):
+            if not count:
+                continue
+            verdict = self.controller.admit_batch(
+                self._contracts[priority], count,
+                label=self._labels[priority])
+            self.stats["admitted_full"] += verdict.admitted_full
+            self.stats["admitted_degraded"] += verdict.admitted_degraded
+            self.stats["shed"] += verdict.shed
+            for reservation in verdict.reservations:
+                cohort = _Cohort(reservation, now)
+                self._watch_release(cohort)
+                self._departures.setdefault(depart_tick, []).append(cohort)
+
+    def _watch_release(self, cohort: _Cohort) -> None:
+        """Chain the release hook to timestamp preemption-era releases.
+
+        The controller owns ``on_release`` (queue re-pump); the coupler
+        needs the release *time* to charge a preempted cohort for the
+        bits it sent before revocation.  Chaining keeps both.
+        """
+        inner = cohort.reservation.on_release
+
+        def hook(reservation: Reservation, _inner=inner,
+                 _cohort=cohort) -> None:
+            _cohort.released_at = self.simulator.now.seconds
+            if _inner is not None:
+                _inner(reservation)
+
+        cohort.reservation.on_release = hook
+
+    # -- facts -------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return self.stats["admitted_full"] + self.stats["admitted_degraded"]
+
+    def facts(self) -> Dict[str, object]:
+        stats = self.stats
+        return {
+            "clients": stats["clients"],
+            "edge_served": stats["edge_served"],
+            "admitted_full": stats["admitted_full"],
+            "admitted_degraded": stats["admitted_degraded"],
+            "shed": stats["shed"],
+            "completed": stats["completed"],
+            "preempted": stats["preempted"],
+            "goodput_bits": stats["goodput_bits"],
+            "wasted_bits": stats["wasted_bits"],
+            "peak_utilization": round(
+                max((u for _, u in self.occupancy), default=0.0), 4),
+        }

@@ -42,6 +42,11 @@ class Reservation:
         #: optional callable invoked (once) after release; the admission
         #: controller hooks this to re-pump its wait queue.
         self.on_release = None
+        #: how many clients this reservation carries: 1 for an ordinary
+        #: stream, n for an aggregate herd cohort admitted in one batch
+        #: (see ``AdmissionController.admit_batch``) — preemption and
+        #: release accounting charge per client, not per reservation.
+        self.cohort_clients = 1
 
     def _faulted_duration(self, bits: int, duration: float) -> float:
         """Apply the channel's injected loss/jitter model, if armed.

@@ -202,6 +202,20 @@ def cache() -> Dict[str, object]:
     return zipf_crowd(seed=0, cached=True, sessions=400)
 
 
+def herd() -> Dict[str, object]:
+    """The hybrid herd surge scenario under tracing, scaled down.
+
+    The trace shows the per-epoch coupler ticks folding thousands of
+    clients into cohort reservations (``admission:*`` decision
+    instants with ``count=`` fields), the foreground interactive
+    sessions threading through the saturated trunk, and the ``herd.*``
+    / ``cache.*`` aggregate counters in the summary.
+    """
+    from repro.herd.scenarios import surge
+
+    return surge(seed=0, clients=4_000)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "quickstart": quickstart,
     "newscast": newscast,
@@ -210,4 +224,5 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, object]]] = {
     "overload": overload,
     "cluster": cluster,
     "cache": cache,
+    "herd": herd,
 }

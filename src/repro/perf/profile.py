@@ -5,7 +5,8 @@ scenarios (:mod:`repro.obs.scenarios`), fault scenarios
 (:mod:`repro.faults`), overload scenarios (:mod:`repro.admission`),
 cluster scenarios (:mod:`repro.cluster`), cache scenarios
 (:mod:`repro.cache`), watch scenarios
-(:mod:`repro.watch`), soak scenarios (:mod:`repro.soak`) — so every
+(:mod:`repro.watch`), soak scenarios (:mod:`repro.soak`), herd
+scenarios (:mod:`repro.herd`, names prefixed ``herd-``) — so every
 scenario the CLI can run can also be profiled.  Runs execute
 under the default observability configuration (metrics on, tracing
 off), which is the hot path the optimization work targets.
@@ -28,10 +29,15 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     from repro.cache import SCENARIOS as CACHE_SCENARIOS
     from repro.cluster import SCENARIOS as CLUSTER_SCENARIOS
     from repro.faults import SCENARIOS as FAULT_SCENARIOS
+    from repro.herd import SCENARIOS as HERD_SCENARIOS
     from repro.obs.scenarios import SCENARIOS as TRACE_SCENARIOS
     from repro.soak import SCENARIOS as SOAK_SCENARIOS
     from repro.watch import SCENARIOS as WATCH_SCENARIOS
 
+    # Herd names are prefixed: bare "surge"/"day" already belong to the
+    # overload and soak registries.
+    herd_registry = {f"herd-{name}": fn
+                     for name, fn in HERD_SCENARIOS.items()}
     return [
         ("trace", TRACE_SCENARIOS, lambda fn: fn),
         ("faults", FAULT_SCENARIOS,
@@ -45,6 +51,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
         ("watch", WATCH_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
         ("soak", SOAK_SCENARIOS,
+         lambda fn: lambda: fn(seed=0)),
+        ("herd", herd_registry,
          lambda fn: lambda: fn(seed=0)),
     ]
 

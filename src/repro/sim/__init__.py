@@ -15,6 +15,7 @@ complete.
 from repro.sim.kernel import (
     Acquire,
     Delay,
+    EpochTicker,
     Process,
     Release,
     SimEvent,
@@ -31,6 +32,7 @@ __all__ = [
     "SimEvent",
     "SimResource",
     "Delay",
+    "EpochTicker",
     "WaitEvent",
     "WaitProcess",
     "Timeout",

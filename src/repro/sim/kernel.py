@@ -314,6 +314,54 @@ def _COMMAND_FALLBACK(command: Any) -> int:
     return 0  # unsupported
 
 
+class EpochTicker:
+    """Handle for a repeating callable registered with
+    :meth:`Simulator.schedule_every`.
+
+    The herd layer advances vectorized client populations on a fixed
+    epoch cadence *alongside* the discrete event loop: each tick is an
+    ordinary queue entry, so foreground processes scheduled at the same
+    instant interleave deterministically by ``(time, seq)``.  The
+    action receives the zero-based tick index; ``cancel()`` stops the
+    cadence (the pending entry becomes a no-op), and an action raising
+    ``StopIteration`` stops it from the inside.
+    """
+
+    __slots__ = ("simulator", "interval_s", "action", "until_s",
+                 "ticks", "cancelled")
+
+    def __init__(self, simulator: "Simulator", interval_s: float,
+                 action: Callable[[int], Any],
+                 until_s: Optional[float]) -> None:
+        if interval_s <= 0:
+            raise SimulationError(
+                f"epoch interval must be positive, got {interval_s}")
+        self.simulator = simulator
+        self.interval_s = interval_s
+        self.action = action
+        self.until_s = until_s
+        self.ticks = 0
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        try:
+            self.action(self.ticks)
+        except StopIteration:
+            self.cancelled = True
+            return
+        self.ticks += 1
+        next_at = self.simulator._now + self.interval_s
+        if self.until_s is not None and next_at > self.until_s + 1e-12:
+            self.cancelled = True
+            return
+        self.simulator._push(next_at, self._fire)
+
+
 class Simulator:
     """The event loop: virtual clock + priority queue of pending actions."""
 
@@ -403,6 +451,29 @@ class Simulator:
         if when.seconds < self._now:
             raise SimulationError(f"cannot schedule in the past ({when!r} < now {self.now!r})")
         self._push(when.seconds, action)
+
+    def schedule_every(self, interval_s: float, action: Callable[[int], Any],
+                       until: Optional[WorldTime] = None,
+                       start_at: Optional[WorldTime] = None) -> EpochTicker:
+        """Run ``action(tick_index)`` every ``interval_s`` virtual seconds.
+
+        The epoch tick hook: a fixed cadence advanced through the same
+        event queue as every process, so per-epoch batch work (the herd
+        coupler) and per-event discrete work interleave
+        deterministically.  The first tick fires at ``start_at``
+        (default: now); ticks stop after ``until``, on
+        :meth:`EpochTicker.cancel`, or when the action raises
+        ``StopIteration``.  Returns the :class:`EpochTicker` handle.
+        """
+        first = self._now if start_at is None else start_at.seconds
+        if first < self._now:
+            raise SimulationError(
+                f"cannot start an epoch cadence in the past "
+                f"({first} < now {self._now})")
+        ticker = EpochTicker(self, interval_s,
+                             action, until.seconds if until else None)
+        self._push(first, ticker._fire)
+        return ticker
 
     def run(self, until: Optional[WorldTime] = None) -> WorldTime:
         """Run until the queue drains or the clock passes ``until``.

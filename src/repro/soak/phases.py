@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.synth.arrivals import uniform_arrival, zipf_pick, zipf_weights
 
 #: element pacing shared with the cache/cluster scenarios: 240 kb per
 #: element, one element per 40 ms — a 6 Mb/s stream.
@@ -154,7 +155,7 @@ def build_timeline(phases: Sequence[PhaseSpec], seed: int,
     if catalog_size < 2:
         raise SimulationError("timeline needs a catalog of at least 2 assets")
     rng = random.Random(f"soak-timeline:{seed}")
-    weights = [1.0 / rank for rank in range(1, catalog_size)]
+    weights = zipf_weights(catalog_size)
     events: List[TimelineEvent] = []
     counts = {"vod": 0, "live": 0, "edit": 0, "bump": 0}
 
@@ -167,12 +168,8 @@ def build_timeline(phases: Sequence[PhaseSpec], seed: int,
     offset = 0.0
     for spec in phases:
         for _ in range(spec.vod_sessions):
-            arrival = offset + rng.uniform(0.0, spec.duration_s)
-            if rng.random() < spec.viral_share:
-                asset = 0
-            else:
-                asset = rng.choices(range(1, catalog_size),
-                                    weights=weights)[0]
+            arrival = uniform_arrival(rng, spec.duration_s, offset)
+            asset = zipf_pick(rng, catalog_size, spec.viral_share, weights)
             emit(arrival, "vod", spec.name, asset, elements=VOD_ELEMENTS,
                  interactive=rng.random() < spec.interactive_share)
         for viewer in range(spec.live_viewers):

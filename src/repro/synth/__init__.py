@@ -6,6 +6,11 @@ generators produce deterministic synthetic equivalents with the relevant
 statistical properties: temporal coherence for interframe codecs, flat
 regions for RLE, tonal audio for the compressors, and multi-track
 newscast composites for temporal composition.
+
+:mod:`repro.synth.arrivals` holds the seeded arrival/popularity
+samplers (Poisson inter-arrival steps, Zipf-with-viral-share asset
+picks, mixture picks) shared by the overload, cache, soak and herd
+workload generators — one rng-stream discipline for all of them.
 """
 
 from __future__ import annotations
@@ -15,6 +20,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.avtime import WorldTime
+from repro.synth.arrivals import (
+    mixture_pick,
+    poisson_step,
+    uniform_arrival,
+    zipf_pick,
+    zipf_pmf,
+    zipf_weights,
+)
 from repro.temporal import TCompSpec, TemporalComposite, Timeline, TrackSpec
 from repro.values import (
     LVVideoValue,
@@ -26,6 +39,26 @@ from repro.values import (
 )
 from repro.values.mediatype import standard_type
 from repro.values.text import TextItem
+
+__all__ = [
+    "NEWSCAST_CLIP_SPEC",
+    "analog_master",
+    "fig1_timeline",
+    "flat_video",
+    "jingle",
+    "mixture_pick",
+    "moving_scene",
+    "newscast_clip",
+    "noise_video",
+    "poisson_step",
+    "speech_like",
+    "subtitle_track",
+    "tone",
+    "uniform_arrival",
+    "zipf_pick",
+    "zipf_pmf",
+    "zipf_weights",
+]
 
 
 def moving_scene(num_frames: int = 30, width: int = 64, height: int = 48,

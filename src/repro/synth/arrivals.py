@@ -1,0 +1,108 @@
+"""Seeded arrival/popularity samplers shared by every workload generator.
+
+Three generators used to carry private copies of the same sampling
+idioms — Poisson inter-arrival clocks (`repro.admission.workload`),
+Zipf asset popularity with a viral share routed to asset 0
+(`repro.cache.scenarios`, `repro.soak.phases`) and cumulative-threshold
+mixture picks (the overload priority mix).  The herd simulator needs
+the *same* distributions in vectorized form, so the scalar samplers
+live here once, with one hard rule:
+
+**rng-stream discipline** — every helper consumes draws from the
+caller's ``random.Random`` in exactly the order and arity of the
+inline code it replaced.  ``zipf_pick`` burns one ``random()`` and, on
+the non-viral branch, one ``choices()``; ``poisson_step`` burns one
+``expovariate()``; ``mixture_pick`` burns one ``random()``.  That is
+what keeps every pre-existing seeded timeline byte-identical
+(``tests/test_synth_arrivals.py`` pins the digests), and what makes a
+herd population and its discrete reference consume comparable streams.
+
+The numpy-side equivalents (:func:`zipf_pmf`, used by
+:class:`repro.herd.HerdPopulation` to compile whole populations into
+per-epoch count vectors) share the same popularity law: rank weights
+``1/rank`` over assets ``1..catalog_size-1`` with ``viral_share``
+routed to asset 0.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+def zipf_weights(catalog_size: int) -> List[float]:
+    """Zipf(1) rank weights for the non-viral assets ``1..catalog_size-1``.
+
+    Asset 0 is the viral asset and is not in the weight vector — it is
+    chosen by the ``viral_share`` branch of :func:`zipf_pick` instead.
+    """
+    if catalog_size < 2:
+        raise SimulationError(
+            f"a Zipf catalog needs at least 2 assets, got {catalog_size}")
+    return [1.0 / rank for rank in range(1, catalog_size)]
+
+
+def zipf_pick(rng: random.Random, catalog_size: int, viral_share: float,
+              weights: Sequence[float] | None = None) -> int:
+    """One seeded asset choice: viral asset 0, else Zipf over the rest.
+
+    Consumes one ``rng.random()`` and — on the non-viral branch — one
+    ``rng.choices()``, exactly like the inline code this replaced.
+    """
+    if rng.random() < viral_share:
+        return 0
+    if weights is None:
+        weights = zipf_weights(catalog_size)
+    return rng.choices(range(1, catalog_size), weights=weights)[0]
+
+
+def poisson_step(rng: random.Random, rate: float) -> float:
+    """One Poisson inter-arrival gap (seconds) at ``rate`` arrivals/s."""
+    if rate <= 0:
+        raise SimulationError(f"arrival rate must be positive, got {rate}")
+    return rng.expovariate(rate)
+
+
+def mixture_pick(rng: random.Random,
+                 cumulative_mix: Sequence[Tuple[float, T]]) -> T:
+    """One draw through cumulative thresholds (e.g. the priority mix).
+
+    ``cumulative_mix`` is ``((threshold, value), ...)`` with ascending
+    thresholds ending at 1.0; consumes one ``rng.random()``.
+    """
+    draw = rng.random()
+    return next(value for threshold, value in cumulative_mix
+                if draw <= threshold)
+
+
+def uniform_arrival(rng: random.Random, duration_s: float,
+                    offset_s: float = 0.0) -> float:
+    """One uniform arrival instant inside ``[offset, offset + duration)``."""
+    return offset_s + rng.uniform(0.0, duration_s)
+
+
+# ---------------------------------------------------------------------------
+# vectorized (numpy) equivalents — the herd side of the same laws
+# ---------------------------------------------------------------------------
+
+def zipf_pmf(catalog_size: int, viral_share: float) -> np.ndarray:
+    """The full catalog pmf: ``viral_share`` on asset 0, Zipf on the rest.
+
+    This is the probability law :func:`zipf_pick` samples one draw at a
+    time; the herd population samples whole per-epoch histograms from
+    it with ``Generator.multinomial``.
+    """
+    if not 0.0 <= viral_share <= 1.0:
+        raise SimulationError(
+            f"viral share must be in [0, 1], got {viral_share}")
+    weights = np.asarray(zipf_weights(catalog_size), dtype=np.float64)
+    pmf = np.empty(catalog_size, dtype=np.float64)
+    pmf[0] = viral_share
+    pmf[1:] = (1.0 - viral_share) * weights / weights.sum()
+    return pmf

@@ -1,0 +1,392 @@
+"""Vectorized client-herd simulation (PR 9).
+
+Covers the :mod:`repro.herd` hybrid mode end to end:
+
+* ``admit_batch`` must mirror N back-to-back ``try_admit`` calls
+  *exactly* — including the Background watermark re-check that
+  sequential arrivals get per client — because the herd↔discrete
+  equivalence proof leans on it.
+* The herd coupler and the discrete per-client reference must agree on
+  every verdict count, the goodput and trunk bit totals, and the
+  epoch-sampled occupancy curve for the same seeded population.
+* Populations and scenario summaries must be byte-identical across
+  reruns (the determinism contract the rest of the repo holds).
+* The satellite pieces: :func:`repro.herd.coupler.apportion`,
+  :class:`repro.cache.aggregate.AggregateHitModel`, and the kernel's
+  :meth:`Simulator.schedule_every` epoch ticker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admission import (
+    AdmissionController,
+    BatchVerdict,
+    Priority,
+    QoSContract,
+)
+from repro.cache.aggregate import AggregateHitModel
+from repro.errors import AdmissionError, SimulationError
+from repro.herd import (
+    HerdPhase,
+    HerdPopulation,
+    PRIORITY_ORDER,
+    apportion,
+    equivalence_report,
+)
+from repro.herd.scenarios import SCENARIOS, summary_line, surge
+from repro.net.channel import Channel
+from repro.obs import scoped
+from repro.sim import Simulator
+
+MBPS = 1_000_000.0
+
+
+def make_controller(capacity_mbps=2.0, **kwargs):
+    sim = Simulator()
+    trunk = Channel(sim, capacity_mbps * MBPS, name="trunk")
+    return sim, trunk, AdmissionController(sim, trunk, **kwargs)
+
+
+def phases(rate=40.0):
+    return (
+        HerdPhase("ramp", 1.0, rate, viral_share=0.35,
+                  interactive_share=0.2),
+        HerdPhase("peak", 1.5, 4.0 * rate, viral_share=0.6,
+                  interactive_share=0.25, background_share=0.1),
+        HerdPhase("cool", 1.0, 0.8 * rate, viral_share=0.3),
+    )
+
+
+# ---------------------------------------------------------------------------
+# admit_batch == N sequential try_admit calls
+# ---------------------------------------------------------------------------
+
+class TestAdmitBatchEquivalence:
+    """The batched API must be indistinguishable from a loop."""
+
+    @staticmethod
+    def _sequential(controller, contract, count, label):
+        """What N separate arrivals would get, as a BatchVerdict-alike."""
+        full = degraded = shed = 0
+        reservations = []
+        for index in range(count):
+            try:
+                r = controller.try_admit(contract, label=f"{label}-{index}")
+            except AdmissionError:
+                shed += 1
+                continue
+            reservations.append(r)
+            if r.bps + 1e-9 >= contract.bps:
+                full += 1
+            else:
+                degraded += 1
+        return full, degraded, shed, reservations
+
+    def _both(self, capacity_mbps, contract, count, **kwargs):
+        _, trunk_a, ctrl_a = make_controller(capacity_mbps, **kwargs)
+        _, trunk_b, ctrl_b = make_controller(capacity_mbps, **kwargs)
+        verdict = ctrl_a.admit_batch(contract, count, label="batch")
+        seq = self._sequential(ctrl_b, contract, count, "seq")
+        return verdict, seq, trunk_a, trunk_b
+
+    @pytest.mark.parametrize("capacity_mbps,count", [
+        (10.0, 4),     # everything fits
+        (10.0, 25),    # saturates mid-batch
+        (10.5, 25),    # fractional leftover -> one degraded client
+        (7.3, 40),     # odd capacity
+        (1.0, 3),      # tiny trunk
+    ])
+    def test_standard_matches_sequential(self, capacity_mbps, count):
+        contract = QoSContract(1.0 * MBPS, Priority.STANDARD,
+                               min_fraction=0.5, queue_timeout_s=1.5)
+        verdict, seq, trunk_a, trunk_b = self._both(
+            capacity_mbps, contract, count)
+        assert (verdict.admitted_full, verdict.admitted_degraded, verdict.shed) == seq[:3]
+        assert trunk_a.reserved_bps == pytest.approx(trunk_b.reserved_bps)
+
+    @pytest.mark.parametrize("capacity_mbps,count", [
+        (10.0, 12),    # watermark trips mid-batch
+        (10.0, 8),     # lands exactly on the watermark
+        (4.0, 30),     # watermark trips almost immediately
+    ])
+    def test_background_watermark_recheck(self, capacity_mbps, count):
+        """Sequential Background arrivals re-check the watermark per
+        grant; the batch must cap itself the same way, not admit the
+        whole cohort against the check it passed on entry."""
+        contract = QoSContract(1.0 * MBPS, Priority.BACKGROUND,
+                               min_fraction=0.25, queue_timeout_s=3.0)
+        verdict, seq, trunk_a, trunk_b = self._both(
+            capacity_mbps, contract, count, high_watermark=0.85)
+        assert (verdict.admitted_full, verdict.admitted_degraded, verdict.shed) == seq[:3]
+        assert trunk_a.reserved_bps == pytest.approx(trunk_b.reserved_bps)
+
+    def test_full_interactive_never_degrades(self):
+        contract = QoSContract(1.0 * MBPS, Priority.INTERACTIVE,
+                               min_fraction=1.0, queue_timeout_s=0.5)
+        verdict, seq, _, _ = self._both(2.5, contract, 6)
+        assert verdict.admitted_degraded == 0
+        assert (verdict.admitted_full, verdict.admitted_degraded, verdict.shed) == seq[:3]
+
+    def test_cohort_reservation_aggregates(self):
+        _, trunk, ctrl = make_controller(10.0)
+        contract = QoSContract(1.0 * MBPS, Priority.STANDARD,
+                               min_fraction=0.5, queue_timeout_s=1.5)
+        verdict = ctrl.admit_batch(contract, 5, label="cohort")
+        assert isinstance(verdict, BatchVerdict)
+        assert len(verdict.reservations) == 1
+        cohort = verdict.reservations[0]
+        assert cohort.cohort_clients == 5
+        assert cohort.bps == pytest.approx(5 * MBPS)
+        cohort.release()
+        assert trunk.reserved_bps == pytest.approx(0.0)
+
+    def test_zero_count_is_a_noop(self):
+        _, trunk, ctrl = make_controller(10.0)
+        contract = QoSContract(1.0 * MBPS, Priority.STANDARD,
+                               min_fraction=0.5, queue_timeout_s=1.5)
+        verdict = ctrl.admit_batch(contract, 0, label="empty")
+        assert (verdict.admitted_full, verdict.admitted_degraded, verdict.shed) == (0, 0, 0)
+        assert verdict.reservations == ()
+        assert trunk.reserved_bps == 0.0
+
+
+# ---------------------------------------------------------------------------
+# herd == discrete, same seed
+# ---------------------------------------------------------------------------
+
+class TestHerdDiscreteEquivalence:
+    """The fluid mode must reproduce the kernel's answers exactly."""
+
+    @pytest.mark.parametrize("capacity_mbps", [4.0, 7.3, 10.5])
+    def test_same_seed_same_answers(self, capacity_mbps):
+        population = HerdPopulation(phases(), seed=3, catalog_size=16,
+                                    epoch_s=0.05)
+        report = equivalence_report(population,
+                                    capacity_bps=capacity_mbps * MBPS,
+                                    stream_bps=1.0 * MBPS,
+                                    session_epochs=4)
+        assert report["equivalent"], report["mismatches"]
+        assert report["herd"]["clients"] == report["discrete"]["clients"]
+        assert report["herd"]["trunk_bits"] == report["discrete"][
+            "trunk_bits"]
+
+    def test_occupancy_curves_length_match_even_when_all_shed(self):
+        # A trunk too small for anyone: the coupler must still tick out
+        # its fixed horizon so the curves stay comparable.
+        population = HerdPopulation(phases(10.0), seed=1, catalog_size=8,
+                                    epoch_s=0.05)
+        report = equivalence_report(population, capacity_bps=0.4 * MBPS,
+                                    stream_bps=1.0 * MBPS, session_epochs=4)
+        assert report["equivalent"], report["mismatches"]
+        n = population.n_epochs + 4
+        assert len(report["herd"]["occupancy"]) == n
+        assert len(report["discrete"]["occupancy"]) == n
+
+    def test_scenario_probe_agrees(self):
+        facts = surge(seed=0, clients=1_500, compare_discrete=True)
+        assert facts["probe_equivalent"]
+        assert facts["probe_mismatches"] == 0
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class TestHerdDeterminism:
+    """Same seed -> byte-identical populations and summaries."""
+
+    def test_population_rerun_is_identical(self):
+        a = HerdPopulation(phases(), seed=5, catalog_size=16, epoch_s=0.05)
+        b = HerdPopulation(phases(), seed=5, catalog_size=16, epoch_s=0.05)
+        assert a.sha256() == b.sha256()
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        np.testing.assert_array_equal(a.demand, b.demand)
+
+    def test_population_seed_sensitivity(self):
+        a = HerdPopulation(phases(), seed=5, catalog_size=16, epoch_s=0.05)
+        b = HerdPopulation(phases(), seed=6, catalog_size=16, epoch_s=0.05)
+        assert a.sha256() != b.sha256()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_summary_rerun_is_identical(self, name):
+        def run():
+            with scoped(tracing=False):
+                return summary_line(name, SCENARIOS[name](
+                    seed=0, clients=2_000))
+        assert run() == run()
+
+    def test_population_invariants(self):
+        pop = HerdPopulation(phases(), seed=2, catalog_size=16,
+                             epoch_s=0.05)
+        assert pop.demand.shape == (pop.n_epochs, 16)
+        # Per epoch: arrivals == sum over priorities == sum over assets.
+        for epoch in range(pop.n_epochs):
+            counts = pop.counts_at(epoch)
+            assert sum(counts.values()) == pop.arrivals[epoch]
+            assert pop.demand[epoch].sum() == pop.arrivals[epoch]
+        assert pop.total_clients == int(pop.arrivals.sum())
+        assert set(counts) == set(PRIORITY_ORDER)
+
+    def test_phase_validation(self):
+        with pytest.raises(SimulationError):
+            HerdPhase("bad", -1.0, 10.0)
+        with pytest.raises(SimulationError):
+            HerdPhase("bad", 1.0, 10.0, viral_share=1.5)
+        with pytest.raises(SimulationError):
+            HerdPhase("bad", 1.0, 10.0, interactive_share=0.8,
+                      background_share=0.4)
+
+    def test_phase_scaling(self):
+        phase = HerdPhase("p", 2.0, 10.0, viral_share=0.4)
+        half = phase.scaled(0.5)
+        assert half.arrivals_per_s == pytest.approx(5.0)
+        assert half.duration_s == phase.duration_s
+        assert half.viral_share == phase.viral_share
+
+
+# ---------------------------------------------------------------------------
+# apportion
+# ---------------------------------------------------------------------------
+
+class TestApportion:
+    def test_preserves_total_and_proportion(self):
+        out = apportion(10, [5, 3, 2])
+        assert out == [5, 3, 2]
+
+    def test_largest_remainder_rounding(self):
+        out = apportion(7, [5, 3, 2])
+        assert sum(out) == 7
+        assert out == [4, 2, 1]
+
+    def test_ties_break_by_index(self):
+        out = apportion(1, [1, 1])
+        assert out == [1, 0]
+
+    def test_zero_everywhere(self):
+        assert apportion(0, [3, 4]) == [0, 0]
+        assert apportion(0, [0, 0]) == [0, 0]
+
+    def test_overallocation_raises(self):
+        with pytest.raises(SimulationError):
+            apportion(5, [2, 1])
+
+
+# ---------------------------------------------------------------------------
+# AggregateHitModel
+# ---------------------------------------------------------------------------
+
+class TestAggregateHitModel:
+    def _model(self, catalog=8, cached=3):
+        sim = Simulator()
+        return AggregateHitModel(sim.obs.metrics, catalog, cached)
+
+    def test_cold_epoch_is_all_misses_then_resident(self):
+        model = self._model()
+        hist = np.zeros(8, dtype=np.int64)
+        hist[0] = 10
+        hits, misses = model.account(hist)
+        assert (hits, misses) == (0, 10)       # read-through fill
+        hits, misses = model.account(hist)
+        assert (hits, misses) == (10, 0)       # resident now
+        assert model.resident_assets == 1
+
+    def test_uncacheable_tail_never_fills(self):
+        model = self._model(catalog=8, cached=3)
+        hist = np.zeros(8, dtype=np.int64)
+        hist[7] = 5                            # rank 7 > top-3
+        for _ in range(3):
+            hits, misses = model.account(hist)
+            assert (hits, misses) == (0, 5)
+        assert model.resident_assets == 0
+
+    def test_explicit_pmf_ranks_cacheability(self):
+        sim = Simulator()
+        pmf = np.array([0.1, 0.6, 0.1, 0.2])
+        model = AggregateHitModel(sim.obs.metrics, 4, 1, pmf=pmf)
+        hist = np.array([0, 3, 0, 2], dtype=np.int64)
+        model.account(hist)
+        hits, misses = model.account(hist)
+        assert (hits, misses) == (3, 2)        # only asset 1 is cacheable
+        assert model.resident_assets == 1
+
+    def test_hit_ratio_and_counters(self):
+        model = self._model()
+        hist = np.zeros(8, dtype=np.int64)
+        hist[1] = 4
+        model.account(hist)
+        model.account(hist)
+        assert model.hit_ratio == pytest.approx(0.5)
+
+    def test_rejects_bad_histograms(self):
+        model = self._model()
+        with pytest.raises(SimulationError):
+            model.account(np.zeros(7, dtype=np.int64))
+        with pytest.raises(SimulationError):
+            model.account(np.array([-1] + [0] * 7, dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# schedule_every / EpochTicker
+# ---------------------------------------------------------------------------
+
+class TestScheduleEvery:
+    def test_ticks_with_indices_until_horizon(self):
+        from repro.avtime import WorldTime
+
+        sim = Simulator()
+        seen = []
+        sim.schedule_every(0.5, seen.append, until=WorldTime(2.0))
+        sim.run()
+        # until is inclusive: ticks at 0.0, 0.5, 1.0, 1.5, 2.0.
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_start_at_offsets_the_grid(self):
+        from repro.avtime import WorldTime
+
+        sim = Simulator()
+        stamps = []
+        sim.schedule_every(1.0, lambda t: stamps.append(sim.now.seconds),
+                           until=WorldTime(3.5), start_at=WorldTime(0.5))
+        sim.run()
+        assert stamps == pytest.approx([0.5, 1.5, 2.5, 3.5])
+
+    def test_stop_iteration_cancels(self):
+        sim = Simulator()
+        seen = []
+
+        def action(tick):
+            seen.append(tick)
+            if tick == 2:
+                raise StopIteration
+
+        sim.schedule_every(0.25, action)
+        sim.run()
+        assert seen == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+class TestHerdScenarios:
+    def test_surge_facts_are_consistent(self):
+        with scoped(tracing=False):
+            facts = surge(seed=0, clients=2_000)
+        handled = (facts["edge_served"] + facts["admitted_full"]
+                   + facts["admitted_degraded"] + facts["shed"])
+        assert handled == facts["clients"]
+        assert facts["completed"] + facts["preempted"] <= (
+            facts["admitted_full"] + facts["admitted_degraded"])
+        assert 0.0 <= facts["cache_hit_ratio"] <= 1.0
+        # Edge-served clients earn goodput without touching the trunk,
+        # so goodput can exceed trunk bits; both must be positive here.
+        assert facts["goodput_bits"] > 0
+        assert facts["trunk_bits"] > 0
+        assert facts["population_sha"]
+
+    def test_summary_line_is_stable_format(self):
+        with scoped(tracing=False):
+            line = summary_line("surge", surge(seed=0, clients=2_000))
+        assert line.startswith("herd surge: seed=0 clients_expected=2000")
+        assert "peak_utilization=" in line
