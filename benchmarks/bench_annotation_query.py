@@ -1,0 +1,399 @@
+"""Annotation-query benchmark: index-backed vs sequential-scan execution.
+
+Loads a seeded synthetic corpus (the full run is 10^6 annotations
+across 2x10^3 values — the ROADMAP gate) into the typed annotation
+store, then times the same temporal-query battery through both
+execution paths.  Before any speed claim, two honesty gates must pass:
+
+* **equivalence** — every query's index-path rows must be byte-identical
+  (same rows, same order, same rendering) to its scan-path rows;
+* **concurrency** — queries interleaved with seeded wait-die writer
+  transactions stay correct: a younger writer hitting an in-flight
+  scan's locks dies (aborts, retriable) instead of corrupting the
+  B-tree, and the index still agrees with the scan afterwards.
+
+Usage::
+
+    python benchmarks/bench_annotation_query.py           # full run + table
+    python benchmarks/bench_annotation_query.py --smoke   # CI gate (>= 50x)
+    python benchmarks/bench_annotation_query.py --update  # record into
+                                                          # BENCH_PERF.json
+
+``--update`` writes the ``annotation_query`` section of
+``BENCH_PERF.json``, merges the headline numbers into the PR 10
+trajectory row, and renders ``benchmarks/results/annotation_query.txt``.
+The smoke gate re-measures up to 3 times before failing so shared-CI
+noise dips don't flap the job (the pattern from ``bench_herd_scale``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.annotations import (  # noqa: E402
+    AQ,
+    AnnotationJoin,
+    AnnotationStore,
+    CorpusSpec,
+    load_corpus,
+    run,
+    run_join,
+)
+from repro.errors import LockTimeoutError  # noqa: E402
+from repro.obs import scoped  # noqa: E402
+
+PERF_PATH = REPO_ROOT / "BENCH_PERF.json"
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "annotation_query.txt"
+
+FULL = CorpusSpec(seed=0, values=2000, annotations=1_000_000,
+                  duration_s=600.0)
+SMOKE = CorpusSpec(seed=0, values=400, annotations=120_000,
+                   duration_s=600.0)
+
+#: the acceptance gate: the index-backed battery must beat the scan
+#: battery by at least this factor (the real margin is far beyond it).
+SPEEDUP_GATE = 50.0
+SMOKE_ATTEMPTS = 3
+
+#: "value-00000" carries the corpus's viral share — the hot, deeply
+#: annotated value a real workload would hammer.
+HOT = "value-00000"
+
+
+def battery(spec: CorpusSpec):
+    """The timed queries: all five operators plus filtered variants.
+
+    Every timed query is *selective* — pinned to a track with a
+    temporal window — because those are the queries the planner routes
+    to the index.  The broad unpinned shape (where the planner rightly
+    picks the scan) is equivalence-checked separately in
+    :func:`check_global`, untimed.
+    """
+    return [
+        AQ.on(HOT, "audio").during(100.0, 130.0).named("hot-during"),
+        AQ.on(HOT, "audio").overlaps(200.0, 201.0).named("hot-overlaps"),
+        AQ.on(HOT, "audio").before(50.0).named("hot-before"),
+        AQ.on(HOT, "audio").after(550.0).named("hot-after"),
+        AQ.on(HOT, "audio").meets(300.0, 330.0).named("hot-meets"),
+        AQ.on("value-00100", "video").during(0.0, spec.duration_s)
+          .named("cold-track-all"),
+        AQ.on(HOT, "audio").of_type("word").where(label="word-003")
+          .during(0.0, 300.0).named("hot-filtered"),
+    ]
+
+
+def check_global(store: AnnotationStore) -> bool:
+    """The scan-shaped query, both paths, row-for-row (untimed)."""
+    query = AQ.of_type("scene").during(290.0, 310.0).named("global-scene")
+    return (run(store, query, mode="index").rows
+            == run(store, query, mode="scan").rows)
+
+
+def build_store(spec: CorpusSpec) -> tuple:
+    t0 = time.perf_counter()
+    store = AnnotationStore()
+    facts = load_corpus(store, spec)
+    return store, facts, time.perf_counter() - t0
+
+
+def _rows_digest(results) -> str:
+    folded = hashlib.sha256()
+    for result in results:
+        for ann in result.rows:
+            folded.update(ann.to_row().encode())
+            folded.update(b"\n")
+    return folded.hexdigest()
+
+
+def run_battery(store: AnnotationStore, spec: CorpusSpec, mode: str) -> dict:
+    queries = battery(spec)
+    t0 = time.perf_counter()
+    results = [run(store, query, mode=mode) for query in queries]
+    dt = time.perf_counter() - t0
+    return {
+        "mode": mode,
+        "wall_s": dt,
+        "queries": len(queries),
+        "queries_per_s": len(queries) / dt,
+        "rows": sum(len(r.rows) for r in results),
+        "digest": _rows_digest(results),
+    }
+
+
+def measure(store: AnnotationStore, spec: CorpusSpec,
+            index_repeats: int = 3) -> dict:
+    """Time both paths; equivalence is asserted, not assumed.
+
+    The index battery takes best-of-N (it is fast enough to jitter);
+    the scan battery runs once (it is the slow, stable reference).
+    """
+    index = min((run_battery(store, spec, "index")
+                 for _ in range(index_repeats)),
+                key=lambda m: m["wall_s"])
+    scan = run_battery(store, spec, "scan")
+    return {
+        "index": index,
+        "scan": scan,
+        "identical": index["digest"] == scan["digest"]
+        and index["rows"] == scan["rows"],
+        "speedup": scan["wall_s"] / index["wall_s"],
+    }
+
+
+# -- correctness under concurrent wait-die writers ------------------------
+def check_concurrency(store: AnnotationStore, spec: CorpusSpec,
+                      seed: int = 0, writers: int = 40) -> dict:
+    """Seeded writers interleaved with queries, plus the wait-die probe."""
+    rng = random.Random(f"annotation-bench:{seed}")
+    probe = AQ.on(HOT, "audio").during(100.0, 130.0)
+    commits = 0
+    added = []
+    agree = True
+    for i in range(writers):
+        start = rng.uniform(0.0, spec.duration_s - 1.0)
+        added.append(store.annotate(HOT, "audio", "word", start, start + 0.5,
+                                    {"label": f"bench-{i:03d}"}))
+        commits += 1
+        if len(added) > 3 and rng.random() < 0.3:
+            store.remove(added.pop(rng.randrange(len(added))))
+            commits += 1
+        if i % 10 == 9:
+            agree = agree and (run(store, probe, mode="index").rows
+                               == run(store, probe, mode="scan").rows)
+    store.track_index(HOT, "audio").check_invariants()
+
+    # The wait-die probe: an older reader's in-flight scan holds SHARED
+    # locks (sentinel + visited postings); a younger writer must die.
+    reader_tx = store.db.begin()
+    scan = store.scan_track(HOT, "audio", tx=reader_tx)
+    consumed = [next(scan) for _ in range(5)]
+    writer_tx = store.db.begin()
+    died = False
+    try:
+        store.annotate(HOT, "audio", "word", 0.25, 0.75,
+                       {"label": "too-young"}, tx=writer_tx)
+    except LockTimeoutError as error:
+        died = not error.should_retry
+        writer_tx.abort()
+    rest = list(scan)  # the aborted writer must not have broken the scan
+    reader_tx.commit()
+    scan_ok = len(consumed) + len(rest) == store.track_stats(HOT,
+                                                             "audio").count
+    store.track_index(HOT, "audio").check_invariants()
+    # After the reader releases its locks the (new, still younger than
+    # nothing) writer retries and goes through.
+    store.annotate(HOT, "audio", "word", 0.25, 0.75, {"label": "retried"})
+    agree = agree and (run(store, probe, mode="index").rows
+                       == run(store, probe, mode="scan").rows)
+    return {
+        "writer_commits": commits + 1,
+        "waitdie_abort": died,
+        "scan_survived": scan_ok,
+        "agree_after_writes": agree,
+        "ok": died and scan_ok and agree,
+    }
+
+
+def check_join(store: AnnotationStore) -> bool:
+    """One track join, both paths, row-for-row."""
+    join = AnnotationJoin(
+        AQ.on(HOT, "audio").of_type("word").during(100.0, 120.0),
+        "during", AQ.on(HOT, "audio").of_type("turn"))
+    return (run_join(store, join, mode="index").rows
+            == run_join(store, join, mode="scan").rows)
+
+
+def print_table(pair: dict, build_s: float, facts: dict,
+                title: str) -> None:
+    print(f"== {title}")
+    print(f"   corpus    {facts['annotations']:>10,} annotations, "
+          f"{facts['values']:,} values, {facts['tracks']:,} tracks, "
+          f"built in {build_s:.2f}s")
+    for mode in ("index", "scan"):
+        m = pair[mode]
+        print(f"   {mode:<9} {m['queries']} queries in {m['wall_s']:.4f}s "
+              f"= {m['queries_per_s']:>10,.1f} queries/s "
+              f"({m['rows']:,} rows)")
+    print(f"   identical {pair['identical']}   "
+          f"speedup {pair['speedup']:,.1f}x (gate >= {SPEEDUP_GATE:.0f}x)")
+
+
+def _prepare(spec: CorpusSpec):
+    store, facts, build_s = build_store(spec)
+    return store, facts, build_s
+
+
+def cmd_run(args) -> int:
+    spec = SMOKE if args.smoke_sizes else FULL
+    with scoped(tracing=False):
+        store, facts, build_s = _prepare(spec)
+        pair = measure(store, spec)
+        print_table(pair, build_s, facts,
+                    "annotation query (index vs sequential scan)")
+        concurrency = check_concurrency(store, spec)
+        join_ok = check_join(store)
+        global_ok = check_global(store)
+    print(f"   concurrency {concurrency}")
+    print(f"   join_identical {join_ok}   global_identical {global_ok}")
+    ok = (pair["identical"] and concurrency["ok"] and join_ok
+          and global_ok)
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            {"pair": pair, "concurrency": concurrency}, indent=2))
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+def cmd_smoke(args) -> int:
+    """CI gate: equivalence + concurrency must hold and the speedup must
+    clear the gate; re-measure before failing so shared-machine noise
+    dips don't flap the job."""
+    with scoped(tracing=False):
+        store, facts, build_s = _prepare(SMOKE)
+        concurrency = check_concurrency(store, SMOKE)
+        join_ok = check_join(store)
+        global_ok = check_global(store)
+        if not (concurrency["ok"] and join_ok and global_ok):
+            print(f"annotation-query smoke FAILED: correctness "
+                  f"{concurrency}, join_identical={join_ok}, "
+                  f"global_identical={global_ok}", file=sys.stderr)
+            return 1
+        print(f"concurrency probe: ok ({concurrency['writer_commits']} "
+              f"writer commits, wait-die abort observed)")
+        for attempt in range(1, SMOKE_ATTEMPTS + 1):
+            pair = measure(store, SMOKE, index_repeats=2)
+            print_table(pair, build_s, facts,
+                        f"annotation-query smoke (attempt "
+                        f"{attempt}/{SMOKE_ATTEMPTS})")
+            if not pair["identical"]:
+                print("annotation-query smoke FAILED: index and scan "
+                      "rows diverge", file=sys.stderr)
+                return 1
+            if pair["speedup"] >= SPEEDUP_GATE:
+                print("annotation-query smoke ok")
+                return 0
+            if attempt < SMOKE_ATTEMPTS:
+                print("   below the gate — re-measuring to rule out "
+                      "machine noise")
+    print(f"annotation-query smoke FAILED: speedup below "
+          f"{SPEEDUP_GATE:.0f}x across {SMOKE_ATTEMPTS} attempts",
+          file=sys.stderr)
+    return 1
+
+
+def cmd_update(args) -> int:
+    """Measure at full scale and record into BENCH_PERF.json."""
+    with scoped(tracing=False):
+        store, facts, build_s = _prepare(FULL)
+        pair = measure(store, FULL)
+        print_table(pair, build_s, facts, "annotation query (full)")
+        concurrency = check_concurrency(store, FULL)
+        join_ok = check_join(store)
+        global_ok = check_global(store)
+    if not (pair["identical"] and concurrency["ok"] and join_ok
+            and global_ok):
+        print("refusing to record: correctness gates failed",
+              file=sys.stderr)
+        return 1
+
+    doc = json.loads(PERF_PATH.read_text()) if PERF_PATH.exists() else {
+        "schema": 1, "trajectory": []}
+    doc["annotation_query"] = {
+        "seed": FULL.seed,
+        "gate_speedup": SPEEDUP_GATE,
+        "annotations": facts["annotations"],
+        "values": facts["values"],
+        "tracks": facts["tracks"],
+        "build_s": round(build_s, 2),
+        "battery_queries": pair["index"]["queries"],
+        "battery_rows": pair["index"]["rows"],
+        "index_wall_s": round(pair["index"]["wall_s"], 5),
+        "scan_wall_s": round(pair["scan"]["wall_s"], 3),
+        "index_queries_per_s": round(pair["index"]["queries_per_s"], 1),
+        "scan_queries_per_s": round(pair["scan"]["queries_per_s"], 2),
+        "identical_rows": pair["identical"],
+        "waitdie_abort": concurrency["waitdie_abort"],
+        "writer_commits": concurrency["writer_commits"],
+        "speedup": round(pair["speedup"], 1),
+    }
+    rows = doc.setdefault("trajectory", [])
+    row = next((e for e in rows if e.get("pr") == args.pr), None)
+    if row is None:
+        row = {"pr": args.pr,
+               "label": f"PR {args.pr} annotation store + temporal "
+                        f"query engine"}
+        rows.append(row)
+    row["annotation_query_speedup"] = round(pair["speedup"], 1)
+    row["annotation_index_queries_per_s"] = round(
+        pair["index"]["queries_per_s"], 1)
+    PERF_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {PERF_PATH}")
+
+    lines = [
+        "annotation query — index-backed vs sequential-scan execution",
+        f"corpus: {facts['annotations']:,} annotations / "
+        f"{facts['values']:,} values / {facts['tracks']:,} tracks "
+        f"(built in {build_s:.2f}s)",
+        f"index  {pair['index']['queries']} queries  "
+        f"{pair['index']['wall_s']:.4f}s  "
+        f"{pair['index']['queries_per_s']:>10,.1f}/s",
+        f"scan   {pair['scan']['queries']} queries  "
+        f"{pair['scan']['wall_s']:.3f}s  "
+        f"{pair['scan']['queries_per_s']:>10,.2f}/s",
+        f"speedup {pair['speedup']:,.1f}x (gate >= {SPEEDUP_GATE:.0f}x), "
+        f"identical rows: {pair['identical']}",
+        f"concurrency: {concurrency['writer_commits']} writer commits, "
+        f"wait-die abort: {concurrency['waitdie_abort']}, "
+        f"agree after writes: {concurrency['agree_after_writes']}",
+    ]
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text("\n".join(lines) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+# -- pytest entry point (correctness only; timing gates stay in CI) -------
+def test_annotation_query_smoke() -> None:
+    spec = CorpusSpec(seed=0, values=60, annotations=12_000,
+                      duration_s=600.0)
+    with scoped(tracing=False):
+        store, _, _ = _prepare(spec)
+        for query in battery(spec):
+            assert (run(store, query, mode="index").rows
+                    == run(store, query, mode="scan").rows), query.describe()
+        concurrency = check_concurrency(store, spec, writers=12)
+        assert concurrency["ok"], concurrency
+        assert check_join(store)
+        assert check_global(store)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: equivalence + speedup floor")
+    parser.add_argument("--smoke-sizes", action="store_true",
+                        help="plain run with the smoke corpus size")
+    parser.add_argument("--update", action="store_true",
+                        help="write BENCH_PERF.json annotation_query section")
+    parser.add_argument("--json", default=None,
+                        help="dump raw results to file")
+    parser.add_argument("--pr", type=int, default=10)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return cmd_smoke(args)
+    if args.update:
+        return cmd_update(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

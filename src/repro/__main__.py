@@ -49,6 +49,12 @@ maintenance) under seeded chaos with the full watch stack supervising;
 ``python -m repro soak search`` sweeps chaos seeds for a failure and
 delta-debugs the fault schedule to a minimal, replayable core.
 
+``python -m repro query <scenario>`` runs a named annotation-query
+scenario: loads a seeded corpus into the typed annotation store, runs
+its temporal-query battery through the cost-based planner, cross-checks
+index-backed vs scan execution row-for-row, and prints the facts plus a
+deterministic summary line; ``--mode index|scan`` forces one path.
+
 ``python -m repro explain <scenario> --session <id>`` reruns a scenario
 with the decision log armed and reconstructs the causal decision chain
 for one session (admitted -> degraded -> preempted -> failed over ...);
@@ -336,6 +342,33 @@ def herd(scenario_name: str, seed: int, clients: int | None,
     return exit_code
 
 
+def query(scenario_name: str, seed: int, mode: str) -> int:
+    """Run annotation-query scenarios and print planner/agreement facts."""
+    from repro.annotations import SCENARIOS, summary_line
+    from repro.obs import scoped
+
+    names = _lookup_scenario("query", scenario_name, SCENARIOS,
+                             allow_all=True)
+    if names is None:
+        return 2
+
+    exit_code = 0
+    for name in names:
+        # A fresh observability scope per run keeps annotations.*
+        # counters and plan decisions from bleeding between scenarios.
+        with scoped(tracing=False):
+            facts = SCENARIOS[name](seed=seed, mode=mode)
+        print(f"scenario {name!r} (seed {seed}, mode {mode}):")
+        for key, value in facts.items():
+            print(f"  {key} = {value}")
+        print(summary_line(name, facts))
+        if not facts.get("all_agree", False):
+            # Index and scan paths disagreeing is a correctness failure;
+            # make it a non-zero exit so CI gates on it directly.
+            exit_code = 1
+    return exit_code
+
+
 def soak(args) -> int:
     """Run the broadcast-day soak, or the chaos search over it."""
     from repro.obs import scoped
@@ -577,6 +610,17 @@ def main(argv=None) -> int:
     soak_parser.add_argument("--out", type=Path, default=None,
                              help="search: write minimized plan, report "
                                   "and replay bundles here")
+    query_parser = sub.add_parser(
+        "query", help="run an annotation-store temporal-query scenario"
+    )
+    query_parser.add_argument("scenario", nargs="?", default="speech",
+                              help="query scenario name, or 'all' "
+                                   "(default: speech)")
+    query_parser.add_argument("--seed", type=int, default=0,
+                              help="corpus seed (default: 0)")
+    query_parser.add_argument("--mode", default="auto",
+                              choices=("auto", "index", "scan"),
+                              help="planner mode (default: auto)")
     explain_parser = sub.add_parser(
         "explain", help="reconstruct a session's causal decision chain"
     )
@@ -618,6 +662,8 @@ def main(argv=None) -> int:
                     args.compare_discrete)
     if args.command == "soak":
         return soak(args)
+    if args.command == "query":
+        return query(args.scenario, args.seed, args.mode)
     if args.command == "explain":
         return explain(args.scenario, args.session, args.seed)
     if args.command == "faults":

@@ -1,0 +1,325 @@
+"""Declarative temporal queries over the annotation store.
+
+A query is a frozen value — built fluently, executed by whichever path
+the planner picks::
+
+    q = (AQ.on("newscast-3", "audio").of_type("word")
+           .during(10.0, 25.0).where(speaker="anchor"))
+    result = run(store, q)            # planner chooses index vs scan
+    result = run(store, q, mode="scan")   # forced, for cross-checking
+
+Both execution paths return *the same rows in the same order* — sorted
+by ``(value_id, track, start, end, serial)``.  The index path gets that
+order for free (tracks visited in sorted order, each track's walk is in
+key order); the scan path sorts.  Equality of the two is a property
+test and a benchmark assertion, which is what lets the planner be a
+pure performance decision.
+
+Track joins (Cassidy & Bird's cross-tier queries: "words during this
+speaker turn", "gestures overlapping a music beat") pair a left query
+with a right side and one of the five relations, evaluated left-row by
+left-row: the index path turns each left interval into a pruned window
+probe of the right side's tracks, the scan path nested-loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.annotations.model import WINDOW_OPS, Annotation, Payload
+from repro.annotations.store import AnnotationStore, TrackKey, track_sentinel
+from repro.db.locks import LockMode
+from repro.db.transactions import Transaction
+from repro.errors import AnnotationError
+
+__all__ = ["AQ", "AnnotationJoin", "AnnotationQuery", "QueryResult",
+           "run", "run_join"]
+
+
+@dataclass(frozen=True)
+class AnnotationQuery:
+    """One declarative annotation query (all fields optional)."""
+
+    value_id: Optional[str] = None
+    track: Optional[str] = None
+    atype: Optional[str] = None
+    op: Optional[str] = None
+    lo: float = 0.0
+    hi: float = 0.0
+    payload: Payload = ()
+    label: str = ""
+
+    # -- fluent builders (each returns a new frozen query) ---------------
+    def on(self, value_id: Optional[str] = None,
+           track: Optional[str] = None) -> "AnnotationQuery":
+        return replace(self, value_id=value_id, track=track)
+
+    def of_type(self, atype: str) -> "AnnotationQuery":
+        return replace(self, atype=atype)
+
+    def where(self, **payload: Any) -> "AnnotationQuery":
+        merged = dict(self.payload)
+        merged.update(payload)
+        return replace(self, payload=tuple(sorted(merged.items())))
+
+    def named(self, label: str) -> "AnnotationQuery":
+        return replace(self, label=label)
+
+    def _window(self, op: str, lo: float, hi: float) -> "AnnotationQuery":
+        if not lo < hi:
+            raise AnnotationError(
+                f"query window [{lo!r}, {hi!r}) must have lo < hi")
+        return replace(self, op=op, lo=lo, hi=hi)
+
+    def overlaps(self, lo: float, hi: float) -> "AnnotationQuery":
+        return self._window("overlaps", lo, hi)
+
+    def during(self, lo: float, hi: float) -> "AnnotationQuery":
+        return self._window("during", lo, hi)
+
+    def meets(self, lo: float, hi: float) -> "AnnotationQuery":
+        return self._window("meets", lo, hi)
+
+    def before(self, t: float) -> "AnnotationQuery":
+        return replace(self, op="before", lo=t, hi=t)
+
+    def after(self, t: float) -> "AnnotationQuery":
+        return replace(self, op="after", lo=t, hi=t)
+
+    # -- description (decision-log subject, CLI output) ------------------
+    def describe(self) -> str:
+        parts = []
+        where = self.value_id or "*"
+        if self.track:
+            where += f"/{self.track}"
+        elif self.value_id:
+            where += "/*"
+        parts.append(where)
+        if self.atype:
+            parts.append(f"type={self.atype}")
+        if self.op in ("before", "after"):
+            parts.append(f"{self.op} {self.lo:g}")
+        elif self.op:
+            parts.append(f"{self.op} [{self.lo:g},{self.hi:g})")
+        for key, value in self.payload:
+            parts.append(f"{key}={value!r}")
+        return self.label or " ".join(parts)
+
+    # -- residual predicate ----------------------------------------------
+    def _matches_residual(self, attrs: dict) -> bool:
+        """Everything but the temporal clause (used by the index path)."""
+        if self.atype is not None and attrs["atype"] != self.atype:
+            return False
+        if self.payload:
+            have = dict(attrs.get("payload") or ())
+            for key, value in self.payload:
+                if key not in have or have[key] != value:
+                    return False
+        return True
+
+    def matches(self, attrs: dict) -> bool:
+        """The full row predicate (the scan path's only tool)."""
+        if self.value_id is not None and attrs["value_id"] != self.value_id:
+            return False
+        if self.track is not None and attrs["track"] != self.track:
+            return False
+        if not self._matches_residual(attrs):
+            return False
+        if self.op is not None:
+            return WINDOW_OPS[self.op](attrs["start"], attrs["end"],
+                                       self.lo, self.hi)
+        return True
+
+
+#: Entry point for fluent construction: ``AQ.on(...).during(...)``.
+AQ = AnnotationQuery()
+
+
+@dataclass(frozen=True)
+class AnnotationJoin:
+    """``left REL right``: pair left rows with related right rows."""
+
+    left: AnnotationQuery
+    relation: str
+    right: AnnotationQuery
+
+    def __post_init__(self) -> None:
+        if self.relation not in WINDOW_OPS:
+            raise AnnotationError(
+                f"unknown join relation {self.relation!r}; "
+                f"pick one of {sorted(WINDOW_OPS)}")
+        if self.right.op is not None:
+            raise AnnotationError(
+                "the right side of a join takes its window from each "
+                "left row; drop its temporal clause")
+
+    def describe(self) -> str:
+        return (f"{self.left.describe()} {self.relation.upper()} "
+                f"{self.right.describe()}")
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the execution facts the caller/benchmarks inspect."""
+
+    rows: List[Any]
+    mode: str
+    examined: int = 0
+    plan: Optional[Any] = None  # the planner's PlanDecision
+
+    @property
+    def matched(self) -> int:
+        return len(self.rows)
+
+
+# -- execution: shared helpers --------------------------------------------
+def _candidate_tracks(store: AnnotationStore,
+                      query: AnnotationQuery) -> List[TrackKey]:
+    if query.value_id is not None and query.track is not None:
+        key = (query.value_id, query.track)
+        return [key] if key in store._tracks else []
+    if query.value_id is not None:
+        return store.tracks_of(query.value_id)
+    return store.tracks()
+
+
+def _track_walk(store: AnnotationStore, key: TrackKey,
+                query: AnnotationQuery) -> Iterator[Tuple[tuple, tuple]]:
+    index = store._tracks[key]
+    if query.op is None:
+        return index.scan()
+    return index.window(query.op, query.lo, query.hi)
+
+
+# -- execution: the two paths ---------------------------------------------
+def _run_index(store: AnnotationStore, query: AnnotationQuery,
+               tx: Optional[Transaction]) -> QueryResult:
+    rows: List[Annotation] = []
+    examined = 0
+    reader = store.db.get if tx is None else tx.read
+    for track_key in _candidate_tracks(store, query):
+        if tx is not None:
+            tx.lock(track_sentinel(*track_key), LockMode.SHARED)
+        for _, oids in _track_walk(store, track_key, query):
+            for oid in oids:
+                if tx is not None:
+                    tx.lock(oid, LockMode.SHARED)
+                obj = reader(oid)
+                examined += 1
+                if query._matches_residual(obj.attributes):
+                    rows.append(Annotation.from_object(obj))
+    # Tracks visited in sorted order, walks in key order: already sorted
+    # by (value_id, track, start, end, serial).
+    return QueryResult(rows, "index", examined)
+
+
+def _run_scan(store: AnnotationStore, query: AnnotationQuery,
+              tx: Optional[Transaction]) -> QueryResult:
+    if tx is not None:
+        # A consistent full scan keeps phantoms out the same way the
+        # index path does: SHARED sentinels on every known track.
+        for track_key in store.tracks():
+            tx.lock(track_sentinel(*track_key), LockMode.SHARED)
+    reader = store.db.get if tx is None else tx.read
+    rows: List[Annotation] = []
+    examined = 0
+    matches = query.matches
+    for oid in store.db._store.oids_of_class([store.CLASS_NAME]):
+        obj = reader(oid)
+        examined += 1
+        if matches(obj.attributes):
+            rows.append(Annotation.from_object(obj))
+    rows.sort(key=lambda ann: ann.sort_key)
+    return QueryResult(rows, "scan", examined)
+
+
+def run(store: AnnotationStore, query: AnnotationQuery, mode: str = "auto",
+        tx: Optional[Transaction] = None) -> QueryResult:
+    """Plan and execute one query; ``mode`` forces a path for A/B runs."""
+    from repro.annotations.planner import plan
+    decision = plan(store, query, mode)
+    if decision.mode == "index":
+        result = _run_index(store, query, tx)
+    else:
+        result = _run_scan(store, query, tx)
+    result.plan = decision
+    return result
+
+
+# -- joins ----------------------------------------------------------------
+def _probe_window(relation: str, left: Annotation) -> Tuple[str, float, float]:
+    """The right-side index walk answering ``left REL right``.
+
+    The five relations read as window predicates with the *right* row's
+    interval as the window — so each probe is the mirror walk: rights
+    overlapping the left interval, rights containing it, rights starting
+    after its end, rights ending before its start, rights touching it.
+    """
+    if relation == "overlaps":
+        return ("overlaps", left.start, left.end)
+    if relation == "during":    # left inside right => right overlaps left
+        return ("overlaps", left.start, left.end)
+    if relation == "before":    # left.end <= right.start
+        return ("after", left.end, left.end)
+    if relation == "after":     # left.start >= right.end
+        return ("before", left.start, left.start)
+    return ("meets", left.start, left.end)
+
+
+def _run_join_index(store: AnnotationStore, join: AnnotationJoin,
+                    lefts: List[Annotation],
+                    tx: Optional[Transaction]) -> QueryResult:
+    pairs: List[Tuple[Annotation, Annotation]] = []
+    examined = 0
+    reader = store.db.get if tx is None else tx.read
+    relation = WINDOW_OPS[join.relation]
+    for left in lefts:
+        op, lo, hi = _probe_window(join.relation, left)
+        probe = AnnotationQuery(value_id=join.right.value_id,
+                                track=join.right.track, op=op, lo=lo, hi=hi)
+        for track_key in _candidate_tracks(store, probe):
+            if tx is not None:
+                tx.lock(track_sentinel(*track_key), LockMode.SHARED)
+            for key, oids in _track_walk(store, track_key, probe):
+                if not relation(left.start, left.end, key[0], key[1]):
+                    continue
+                for oid in oids:
+                    if oid == left.oid:
+                        continue
+                    if tx is not None:
+                        tx.lock(oid, LockMode.SHARED)
+                    obj = reader(oid)
+                    examined += 1
+                    if join.right._matches_residual(obj.attributes):
+                        pairs.append((left, Annotation.from_object(obj)))
+    return QueryResult(pairs, "index", examined)
+
+
+def _run_join_scan(store: AnnotationStore, join: AnnotationJoin,
+                   lefts: List[Annotation],
+                   tx: Optional[Transaction]) -> QueryResult:
+    rights = _run_scan(store, join.right, tx)
+    relation = WINDOW_OPS[join.relation]
+    pairs = [(left, right)
+             for left in lefts
+             for right in rights.rows
+             if right.oid != left.oid
+             and relation(left.start, left.end, right.start, right.end)]
+    return QueryResult(pairs, "scan", rights.examined)
+
+
+def run_join(store: AnnotationStore, join: AnnotationJoin,
+             mode: str = "auto",
+             tx: Optional[Transaction] = None) -> QueryResult:
+    """Execute ``left REL right``; pairs sorted by (left, right) keys."""
+    from repro.annotations.planner import plan_join
+    left_result = run(store, join.left, mode, tx)
+    decision = plan_join(store, join, len(left_result.rows), mode)
+    if decision.mode == "index":
+        result = _run_join_index(store, join, left_result.rows, tx)
+    else:
+        result = _run_join_scan(store, join, left_result.rows, tx)
+    result.examined += left_result.examined
+    result.plan = decision
+    return result

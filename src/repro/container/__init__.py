@@ -17,6 +17,7 @@ The format (see :mod:`repro.container.format`) is atom-structured:
   needs them (the streaming-friendly layout real containers use).
 """
 
+from repro.container.demux import ContainerDemuxer
 from repro.container.format import (
     ContainerReader,
     ContainerWriter,
@@ -25,12 +26,9 @@ from repro.container.format import (
 )
 
 __all__ = [
-    "ContainerWriter",
+    "ContainerDemuxer",
     "ContainerReader",
-    "write_composite",
+    "ContainerWriter",
     "read_composite",
+    "write_composite",
 ]
-
-from repro.container.demux import ContainerDemuxer  # noqa: E402
-
-__all__.append("ContainerDemuxer")

@@ -48,6 +48,9 @@ class Database:
         # (class_name, attribute) -> index
         self._ordered: Dict[tuple, OrderedIndex] = {}
         self._keyword: Dict[tuple, KeywordIndex] = {}
+        # name -> (class_name, index, key_of): derived-key indexes kept
+        # in lockstep with commits (see attach_index).
+        self._derived: Dict[str, tuple] = {}
         self.versions = VersionCatalog()
         self.stats = {"commits": 0, "aborts": 0, "index_scans": 0, "full_scans": 0}
         metrics = self.obs.metrics
@@ -71,6 +74,32 @@ class Database:
                     class_def.name, spec.name
                 )
         return class_def
+
+    def attach_index(self, name: str, class_name: str, index: Any,
+                     key_of) -> None:
+        """Register a *derived-key* index maintained through commits.
+
+        Unlike the per-attribute indexes declared in a :class:`ClassDef`,
+        a derived index is keyed by ``key_of(obj)`` — any function of the
+        whole object (e.g. the ``(value_id, track, start, end)`` interval
+        key in ``repro.annotations``).  The index object must implement
+        ``insert(key, oid)`` / ``remove(key, oid)`` / ``clear()``; a
+        ``None`` key means "do not index this object".  Existing objects
+        of the class are backfilled immediately; afterwards every commit
+        keeps the index in lockstep via :meth:`_reindex`.
+        """
+        if name in self._derived:
+            raise SchemaError(f"derived index {name!r} already attached")
+        self._derived[name] = (class_name, index, key_of)
+        if class_name in self.schema:
+            classes = self.schema.subclasses_of(class_name)
+            for oid in self._store.oids_of_class(classes):
+                obj = self._store.get(oid)
+                index.insert(key_of(obj), oid)
+
+    def detach_index(self, name: str) -> None:
+        """Drop a derived index registration (the index itself survives)."""
+        self._derived.pop(name, None)
 
     # -- transactions ------------------------------------------------------
     def begin(self) -> Transaction:
@@ -116,6 +145,13 @@ class Database:
                 index.remove(old.get(attr), oid)
             if new is not None:
                 index.insert(new.get(attr), oid)
+        for cls, index, key_of in self._derived.values():
+            if not self.schema.is_subclass(class_name, cls):
+                continue
+            if old is not None:
+                index.remove(key_of(old), oid)
+            if new is not None:
+                index.insert(key_of(new), oid)
 
     # -- autocommit conveniences -----------------------------------------
     def insert(self, class_name: str, **attributes: Any) -> OID:
@@ -202,6 +238,8 @@ class Database:
             index.__init__(index.class_name, index.attribute)
         for index in self._keyword.values():
             index.__init__(index.class_name, index.attribute)
+        for _, index, _ in self._derived.values():
+            index.clear()
         for oid in self._store.all_oids():
             self._reindex(None, self._store.get(oid))
 

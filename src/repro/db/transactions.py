@@ -56,6 +56,17 @@ class Transaction:
         self._db._locks.acquire(self.tx_id, oid, LockMode.SHARED)
         return self._db._store.get(oid)
 
+    def lock(self, oid: OID, mode: LockMode = LockMode.SHARED) -> None:
+        """Take an explicit lock without touching the object.
+
+        Used for *logical* locks on OIDs that need not exist — e.g. the
+        per-track sentinel OIDs that ``repro.annotations`` scans lock to
+        keep wait-die writers out of an in-flight interval scan.  Strict
+        2PL applies: the lock is held until commit/abort.
+        """
+        self._require_active()
+        self._db._locks.acquire(self.tx_id, oid, mode)
+
     def insert(self, class_name: str, **attributes: Any) -> OID:
         """Create a new object (validated against the schema)."""
         self._require_active()

@@ -163,6 +163,10 @@ class ObjectNotFoundError(DatabaseError):
     """No object with the requested OID exists."""
 
 
+class AnnotationError(DatabaseError):
+    """Invalid annotation, annotation type, or temporal query."""
+
+
 class VersionError(DatabaseError):
     """Invalid version-graph operation."""
 

@@ -34,6 +34,12 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
     from repro.soak import SCENARIOS as SOAK_SCENARIOS
     from repro.watch import SCENARIOS as WATCH_SCENARIOS
 
+    from repro.annotations import SCENARIOS as QUERY_SCENARIOS
+
+    # Query names are prefixed to stay collision-proof as registries
+    # grow ("speech" -> "query-speech").
+    query_registry = {f"query-{name}": fn
+                      for name, fn in QUERY_SCENARIOS.items()}
     # Herd names are prefixed: bare "surge"/"day" already belong to the
     # overload and soak registries.
     herd_registry = {f"herd-{name}": fn
@@ -53,6 +59,8 @@ def _registries() -> List[Tuple[str, Dict[str, Callable], Callable]]:
         ("soak", SOAK_SCENARIOS,
          lambda fn: lambda: fn(seed=0)),
         ("herd", herd_registry,
+         lambda fn: lambda: fn(seed=0)),
+        ("query", query_registry,
          lambda fn: lambda: fn(seed=0)),
     ]
 

@@ -148,3 +148,113 @@ class TestEquivalenceProperties:
         assert tree.max_key() == max(keys)
         in_order = [k for k, _ in tree.items()]
         assert in_order == sorted(set(keys))
+
+
+class TestScan:
+    def _tree(self, n=50, degree=2):
+        tree = BTreeIndex("T", "n", min_degree=degree)
+        for k in range(n):
+            tree.insert(k, oid(k))
+        return tree
+
+    def test_yields_ordered_pairs(self):
+        tree = self._tree()
+        assert [k for k, _ in tree.scan()] == list(range(50))
+        assert all(oids == (oid(k),) for k, oids in tree.scan())
+
+    def test_bounds_match_range(self):
+        tree = self._tree()
+        for lo, hi, ilo, ihi in [(5, 20, True, True), (5, 20, False, False),
+                                 (None, 10, True, False),
+                                 (30, None, False, True)]:
+            lazy = {o for _, oids in tree.scan(lo, hi, ilo, ihi)
+                    for o in oids}
+            assert lazy == tree.range(lo, hi, ilo, ihi)
+
+    def test_bucket_oids_sorted(self):
+        tree = BTreeIndex("T", "n", min_degree=2)
+        for serial in (9, 1, 5):
+            tree.insert(42, oid(serial))
+        [(key, oids)] = list(tree.scan())
+        assert key == 42 and oids == (oid(1), oid(5), oid(9))
+
+    def test_on_visit_fires_before_each_yield(self):
+        tree = self._tree(10)
+        seen = []
+        out = list(tree.scan(on_visit=lambda k, oids: seen.append(k)))
+        assert seen == [k for k, _ in out] == list(range(10))
+
+    def test_mutation_mid_scan_raises(self):
+        tree = self._tree()
+        scan = tree.scan()
+        next(scan)
+        tree.insert(99, oid(99))
+        with pytest.raises(QueryError, match="mutated during"):
+            next(scan)
+
+    def test_remove_mid_scan_raises(self):
+        tree = self._tree()
+        scan = tree.scan()
+        next(scan)
+        tree.remove(25, oid(25))
+        with pytest.raises(QueryError, match="mutated during"):
+            list(scan)
+
+    def test_bad_bounds_raise_eagerly(self):
+        with pytest.raises(QueryError, match="exceeds"):
+            self._tree().scan(lo=9, hi=3)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 5, 31, 32, 63, 64, 200, 5000])
+    @pytest.mark.parametrize("degree", [2, 4, 16])
+    def test_matches_insert_built_tree(self, n, degree):
+        loaded = BTreeIndex("T", "n", min_degree=degree)
+        loaded.bulk_load((k, [oid(k)]) for k in range(n))
+        grown = BTreeIndex("T", "n", min_degree=degree)
+        for k in range(n):
+            grown.insert(k, oid(k))
+        loaded.check_invariants()
+        assert len(loaded) == len(grown) == n
+        assert list(loaded.items()) == list(grown.items())
+        assert list(loaded.scan()) == list(grown.scan())
+
+    def test_multi_oid_buckets(self):
+        tree = BTreeIndex("T", "n", min_degree=2)
+        tree.bulk_load([(1, [oid(1), oid(2)]), (2, [oid(3)])])
+        assert tree.eq(1) == {oid(1), oid(2)}
+        assert len(tree) == 3
+
+    def test_rejects_nonempty_tree(self):
+        tree = BTreeIndex("T", "n")
+        tree.insert(1, oid(1))
+        with pytest.raises(QueryError, match="empty tree"):
+            tree.bulk_load([(2, [oid(2)])])
+
+    def test_rejects_unsorted_and_duplicate_keys(self):
+        for keys in ([3, 1], [2, 2]):
+            tree = BTreeIndex("T", "n")
+            with pytest.raises(QueryError, match="strictly increasing"):
+                tree.bulk_load((k, [oid(k)]) for k in keys)
+
+    def test_rejects_empty_bucket(self):
+        tree = BTreeIndex("T", "n")
+        with pytest.raises(QueryError, match="empty"):
+            tree.bulk_load([(1, [])])
+
+    def test_loaded_tree_accepts_further_inserts(self):
+        tree = BTreeIndex("T", "n", min_degree=2)
+        tree.bulk_load((k, [oid(k)]) for k in range(0, 100, 2))
+        for k in range(1, 100, 2):
+            tree.insert(k, oid(k))
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    @given(st.sets(st.integers(-10_000, 10_000), min_size=1, max_size=400),
+           st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_across_shapes(self, keys, degree):
+        tree = BTreeIndex("T", "n", min_degree=degree)
+        tree.bulk_load((k, [oid(i)]) for i, k in enumerate(sorted(keys)))
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(keys)

@@ -1,0 +1,146 @@
+"""Fail the lint job on ``__all__`` drift in the public API surface.
+
+The repo's export convention: every package ``__init__.py`` under
+``src/repro`` (plus any leaf module that opts in by defining one) keeps
+an explicit ``__all__``.  Ruff's PLE0604/PLE0605 catch *malformed*
+``__all__``; this checker catches the drift ruff has no rule for:
+
+1. a package ``__init__.py`` with no ``__all__`` at all,
+2. an ``__all__`` entry naming nothing bound at module top level
+   (stale after a rename or a dropped import),
+3. a public name a package ``__init__.py`` imports from its *own*
+   subtree but leaves out of ``__all__`` — such imports exist solely
+   to re-export, so the omission is drift (helper imports from the
+   stdlib or sibling packages are exempt),
+4. duplicate ``__all__`` entries.
+
+Pure stdlib (``ast``), so it runs in the lint job before any install.
+
+Usage::
+
+    python tools/check_exports.py [src-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules intentionally without ``__all__``: entry points, not APIs.
+EXEMPT = {"__main__.py"}
+
+
+def literal_all(tree: ast.Module):
+    """The module's ``__all__`` (list of str) or None if not defined."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if "__all__" in targets:
+                value = node.value
+                if not isinstance(value, (ast.List, ast.Tuple)):
+                    return "not-literal"
+                names = []
+                for elt in value.elts:
+                    if (not isinstance(elt, ast.Constant)
+                            or not isinstance(elt.value, str)):
+                        return "not-literal"
+                    names.append(elt.value)
+                return names
+    return None
+
+
+def top_level_bindings(tree: ast.Module) -> set:
+    """Every name bound at module top level."""
+    bound = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    bound.update(e.id for e in target.elts
+                                 if isinstance(e, ast.Name))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound
+
+
+def own_subtree_imports(tree: ast.Module, dotted: str) -> set:
+    """Names imported from modules under the package's own path."""
+    names = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom) or node.names[0].name == "*":
+            continue
+        if node.level > 0 or (node.module or "").startswith(dotted + "."):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def check_module(path: Path, dotted: str) -> list:
+    require_all = path.name == "__init__.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    exported = literal_all(tree)
+    problems = []
+    if exported is None:
+        if require_all:
+            problems.append("package __init__ defines no __all__")
+        return problems
+    if exported == "not-literal":
+        return ["__all__ is not a literal list of strings"]
+    bound = top_level_bindings(tree)
+    for name in exported:
+        if name not in bound:
+            problems.append(f"__all__ names {name!r}, "
+                            f"which is not bound in the module")
+    seen = set()
+    for name in exported:
+        if name in seen:
+            problems.append(f"__all__ lists {name!r} twice")
+        seen.add(name)
+    if require_all:
+        reexports = own_subtree_imports(tree, dotted)
+        for name in sorted(reexports - set(exported)):
+            if not name.startswith("_"):
+                problems.append(f"{name!r} is imported from the package's "
+                                f"own subtree but missing from __all__")
+    return problems
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    failures = 0
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        if path.name in EXEMPT:
+            continue
+        relative = path.relative_to(root.parent)
+        dotted = ".".join(relative.with_suffix("").parts)
+        if dotted.endswith(".__init__"):
+            dotted = dotted[: -len(".__init__")]
+        problems = check_module(path, dotted)
+        checked += 1
+        for problem in problems:
+            failures += 1
+            print(f"{path}: {problem}", file=sys.stderr)
+    if failures:
+        print(f"check_exports: {failures} problem(s) across "
+              f"{checked} modules", file=sys.stderr)
+        return 1
+    print(f"check_exports: {checked} modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
